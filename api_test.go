@@ -1,0 +1,93 @@
+package rapid
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the
+// examples do: dataset → initial ranker → environment → RAPID → re-rank →
+// metrics, at smoke scale.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Scale = 0.02
+	opt.Epochs = 1
+
+	cfg := TaobaoLike(opt.Seed)
+	rd, err := BuildRankedData(cfg, NewDIN(opt.Seed), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := BuildEnv(rd, 0.9, opt)
+	if len(env.Train) == 0 || len(env.Test) == 0 {
+		t.Fatal("empty environment")
+	}
+
+	model := NewModel(DefaultModelConfig(cfg.UserDim, cfg.ItemDim, cfg.Topics, opt.Seed))
+	if err := model.Fit(env.Train); err != nil {
+		t.Fatal(err)
+	}
+	inst := env.Test[0]
+	ranked := Apply(model, inst)
+	if len(ranked) != inst.L() {
+		t.Fatalf("ranked %d items, want %d", len(ranked), inst.L())
+	}
+	seen := map[int]bool{}
+	for _, v := range ranked {
+		if seen[v] {
+			t.Fatal("re-ranked list contains a duplicate")
+		}
+		seen[v] = true
+	}
+	exp := env.DCM.ExpectedClicks(inst.User, ranked)
+	if c := ClickAtK(exp, 10); c <= 0 || math.IsNaN(c) {
+		t.Fatalf("click@10 = %v", c)
+	}
+	theta := model.Preference(inst)
+	if len(theta) != cfg.Topics {
+		t.Fatalf("θ̂ has %d topics", len(theta))
+	}
+}
+
+// TestPublicBaselineConstructors ensures every exported baseline builds and
+// satisfies the Reranker contract against a live instance.
+func TestPublicBaselineConstructors(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Scale = 0.02
+	cfg := MovieLensLike(opt.Seed)
+	rd, err := BuildRankedData(cfg, NewSVMRank(opt.Seed), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := BuildEnv(rd, 0.5, opt)
+	inst := env.Test[0]
+	h := 8
+	for _, r := range []Reranker{
+		NewDLCM(h, 1), NewPRM(h, 2), NewSetRank(h, 3), NewSRGA(h, 4),
+		NewMMR(), NewDPP(), NewDESA(h, 5), NewSSD(), NewAdpMMR(), NewPDGAN(h, 6),
+	} {
+		s := r.Scores(inst)
+		if len(s) != inst.L() {
+			t.Fatalf("%s returned %d scores", r.Name(), len(s))
+		}
+	}
+}
+
+// TestPublicRegretAPI exercises the exported Theorem 5.1 surface.
+func TestPublicRegretAPI(t *testing.T) {
+	opt := DefaultRegretOptions(1)
+	opt.Rounds = 200
+	opt.Checkpoint = 100
+	tbl, curves := RunRegret(opt)
+	if tbl == nil || len(curves) == 0 {
+		t.Fatal("regret run returned nothing")
+	}
+}
+
+// TestWelchTTestExported sanity-checks the exported significance test.
+func TestWelchTTestExported(t *testing.T) {
+	res := WelchTTest([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	if res.P < 0.9 {
+		t.Fatalf("identical samples p=%v", res.P)
+	}
+}

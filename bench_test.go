@@ -1,0 +1,237 @@
+// Benchmarks regenerating every table and figure of the paper at a reduced
+// scale (the CLI `rapidbench -exp <id> -scale 1` runs the full harness
+// size). One benchmark iteration runs the complete experiment — dataset
+// generation, initial-ranker training, click simulation, re-ranker
+// training, evaluation — so b.N is typically 1; the reported time is the
+// end-to-end cost of the experiment.
+//
+// Micro-benchmarks for the hot paths (matrix multiply, LSTM step, DPP
+// greedy MAP, coverage) live at the bottom.
+package rapid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bandit"
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rerank"
+	"repro/internal/topics"
+)
+
+// benchScale keeps one experiment iteration in the tens of seconds.
+const benchScale = 0.08
+
+func benchOptions(seed int64) experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Scale = benchScale
+	opt.Seed = seed
+	opt.Epochs = 4
+	return opt
+}
+
+func runTables(b *testing.B, f func(opt experiments.Options) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(benchOptions(int64(42 + i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2a — Table II(a): overall performance at λ=0.5.
+func BenchmarkTable2a(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable2(0.5, opt)
+		return err
+	})
+}
+
+// BenchmarkTable2b — Table II(b): overall performance at λ=0.9.
+func BenchmarkTable2b(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable2(0.9, opt)
+		return err
+	})
+}
+
+// BenchmarkTable2c — Table II(c): overall performance at λ=1.0.
+func BenchmarkTable2c(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable2(1.0, opt)
+		return err
+	})
+}
+
+// BenchmarkTable3 — Table III: App Store with revenue metrics.
+func BenchmarkTable3(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable3(opt)
+		return err
+	})
+}
+
+// BenchmarkTable4 — Table IV: SVMRank and LambdaMART initial rankers.
+func BenchmarkTable4(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable4(opt)
+		return err
+	})
+}
+
+// BenchmarkTable5 — Table V: behavior-sequence lengths D ∈ {3,5,10}.
+func BenchmarkTable5(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable5(opt)
+		return err
+	})
+}
+
+// BenchmarkTable6 — Table VI: training/inference wall-clock comparison.
+func BenchmarkTable6(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunTable6(opt)
+		return err
+	})
+}
+
+// BenchmarkFig3 — Figure 3: ablation variants.
+func BenchmarkFig3(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunFig3(opt)
+		return err
+	})
+}
+
+// BenchmarkFig4 — Figure 4: hidden-size sweep.
+func BenchmarkFig4(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunFig4(opt)
+		return err
+	})
+}
+
+// BenchmarkFig5 — Figure 5: personalized-preference case study.
+func BenchmarkFig5(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunFig5(opt)
+		return err
+	})
+}
+
+// BenchmarkDivFn — extension: RAPID under alternative submodular
+// diversity functions (the paper's Section III-C remark).
+func BenchmarkDivFn(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunDivFnAblation(opt)
+		return err
+	})
+}
+
+// BenchmarkRobust — extension: DCM-trained models evaluated under a PBM.
+func BenchmarkRobust(b *testing.B) {
+	runTables(b, func(opt experiments.Options) error {
+		_, err := experiments.RunRobustness(opt)
+		return err
+	})
+}
+
+// BenchmarkRegret — Theorem 5.1: Õ(√n) regret simulation (UCB variant).
+func BenchmarkRegret(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := bandit.NewEnv(6, 4, 4, 20, 80, 15, int64(7+i))
+		bandit.SimulateRegret(env, bandit.UCB, 800, 100, 0.1)
+	}
+}
+
+// ---- Micro-benchmarks for hot paths ----
+
+func BenchmarkMatMul32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.RandNormal(32, 32, 0, 1, rng)
+	y := mat.RandNormal(32, 32, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}
+
+func BenchmarkLSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ps := nn.NewParamSet()
+	cell := nn.NewLSTMCell(ps, "c", 24, 16, rng)
+	x := mat.RandNormal(1, 24, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := nn.NewTape()
+		h, c := cell.InitState(t)
+		cell.Step(t, t.Constant(x), h, c)
+	}
+}
+
+func BenchmarkBiLSTMList20(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ps := nn.NewParamSet()
+	bi := nn.NewBiLSTM(ps, "b", 30, 16, rng)
+	seq := mat.RandNormal(20, 30, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := nn.NewTape()
+		bi.Forward(t, t.Constant(seq))
+	}
+}
+
+func BenchmarkRAPIDInference(b *testing.B) {
+	// One full RAPID forward pass over a 20-item list — the quantity the
+	// paper's efficiency analysis (Section V-B) bounds by ~50 ms.
+	cfg := dataset.TaobaoLike(1).Scaled(0.05)
+	d := dataset.MustGenerate(cfg)
+	opt := benchOptions(1)
+	rng := rand.New(rand.NewSource(4))
+	pool := d.RerankPools[0]
+	items := pool.Candidates[:cfg.ListLen]
+	scores := make([]float64, len(items))
+	req := dataset.Request{User: pool.User, Items: items, InitScores: scores}
+	inst := rerank.NewInstance(d, req, rng)
+	env := &experiments.Env{Data: d}
+	m := experiments.NewRAPID(env, opt, 1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Scores(inst)
+	}
+}
+
+func BenchmarkDPPGreedyMAP(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	base := mat.RandNormal(20, 8, 0, 1, rng)
+	kernel := base.MatMul(base.T())
+	for i := 0; i < 20; i++ {
+		kernel.Set(i, i, kernel.At(i, i)+0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselines.GreedyMAP(kernel, 10)
+	}
+}
+
+func BenchmarkMarginalDiversity(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	cover := make([][]float64, 20)
+	for i := range cover {
+		c := make([]float64, 20)
+		for j := range c {
+			c[j] = rng.Float64() * 0.3
+		}
+		cover[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkMD = topics.MarginalDiversity(cover, 20)
+	}
+}
+
+var benchSinkMD [][]float64

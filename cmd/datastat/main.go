@@ -1,0 +1,163 @@
+// Command datastat prints calibration statistics of the synthetic datasets
+// — the quantities DESIGN.md's substitution argument rests on: how focused
+// vs diverse the user population is, how redundant the retrieved candidate
+// pools are, how relevance and the diversity appetite distribute.
+//
+// Usage:
+//
+//	datastat -dataset taobao -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/topics"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "taobao", "dataset preset: taobao, movielens, appstore")
+		scale = flag.Float64("scale", 0.25, "dataset scale")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if err := run(*ds, *scale, *seed, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "datastat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ds string, scale float64, seed int64, w *os.File) error {
+	var cfg dataset.Config
+	switch ds {
+	case "taobao":
+		cfg = dataset.TaobaoLike(seed)
+	case "movielens":
+		cfg = dataset.MovieLensLike(seed)
+	case "appstore":
+		cfg = dataset.AppStoreLike(seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", ds)
+	}
+	if scale != 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	s := Summarize(d)
+	fmt.Fprintf(w, "dataset %s: %d users, %d items, %d topics\n", d.Name, len(d.Users), len(d.Items), d.M())
+	fmt.Fprintf(w, "users: %.0f%% focused (pref entropy < 0.5·log m); appetite mean %.2f (focused %.2f, diverse %.2f)\n",
+		s.FocusedFrac*100, s.AppetiteMean, s.AppetiteFocused, s.AppetiteDiverse)
+	fmt.Fprintf(w, "relevance: mean %.3f, p10 %.3f, p90 %.3f\n", s.RelMean, s.RelP10, s.RelP90)
+	fmt.Fprintf(w, "history: topical share on favorite topic %.2f (uniform would be %.2f)\n",
+		s.HistoryTopicalShare, 1/float64(d.M()))
+	fmt.Fprintf(w, "pools: mean per-pool coverage %.2f of %d topics (redundancy %.0f%%)\n",
+		s.PoolCoverage, d.M(), (1-s.PoolCoverage/float64(d.M()))*100)
+	return nil
+}
+
+// Stats summarizes a generated dataset.
+type Stats struct {
+	FocusedFrac                   float64
+	AppetiteMean, AppetiteFocused float64
+	AppetiteDiverse               float64
+	RelMean, RelP10, RelP90       float64
+	HistoryTopicalShare           float64
+	PoolCoverage                  float64
+}
+
+// Summarize computes the calibration statistics for a dataset.
+func Summarize(d *dataset.Dataset) Stats {
+	var s Stats
+	var nFocused, nDiverse float64
+	var appFocused, appDiverse, appAll float64
+	var topical, histTotal float64
+	for _, u := range d.Users {
+		h := mat.Entropy(u.Pref) / math.Log(float64(d.M()))
+		appAll += u.DivAppetite
+		if h < 0.5 {
+			nFocused++
+			appFocused += u.DivAppetite
+		} else {
+			nDiverse++
+			appDiverse += u.DivAppetite
+		}
+		best := 0
+		for j, p := range u.Pref {
+			if p > u.Pref[best] {
+				best = j
+			}
+		}
+		for _, v := range u.History {
+			topical += d.Cover(v)[best]
+			histTotal++
+		}
+	}
+	n := float64(len(d.Users))
+	s.FocusedFrac = nFocused / n
+	s.AppetiteMean = appAll / n
+	if nFocused > 0 {
+		s.AppetiteFocused = appFocused / nFocused
+	}
+	if nDiverse > 0 {
+		s.AppetiteDiverse = appDiverse / nDiverse
+	}
+	if histTotal > 0 {
+		s.HistoryTopicalShare = topical / histTotal
+	}
+
+	// Relevance distribution over sampled user-item pairs.
+	var rels []float64
+	for ui := 0; ui < len(d.Users); ui += 1 + len(d.Users)/50 {
+		for vi := 0; vi < len(d.Items); vi += 1 + len(d.Items)/50 {
+			rels = append(rels, d.Relevance(ui, vi))
+		}
+	}
+	sortFloats(rels)
+	if len(rels) > 0 {
+		var sum float64
+		for _, r := range rels {
+			sum += r
+		}
+		s.RelMean = sum / float64(len(rels))
+		s.RelP10 = rels[len(rels)/10]
+		s.RelP90 = rels[len(rels)*9/10]
+	}
+
+	// Pool topical coverage.
+	var cov float64
+	pools := d.RerankPools
+	if len(pools) > 50 {
+		pools = pools[:50]
+	}
+	for _, p := range pools {
+		cover := make([][]float64, len(p.Candidates))
+		for i, v := range p.Candidates {
+			cover[i] = d.Cover(v)
+		}
+		cov += topics.CoverageTotal(cover, d.M())
+	}
+	if len(pools) > 0 {
+		s.PoolCoverage = cov / float64(len(pools))
+	}
+	return s
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

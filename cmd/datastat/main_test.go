@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSummarize(t *testing.T) {
+	cfg := dataset.TaobaoLike(5).Scaled(0.1)
+	d := dataset.MustGenerate(cfg)
+	s := Summarize(d)
+	if s.FocusedFrac < 0.1 || s.FocusedFrac > 0.9 {
+		t.Fatalf("focused fraction %v implausible", s.FocusedFrac)
+	}
+	if s.AppetiteDiverse <= s.AppetiteFocused {
+		t.Fatalf("diverse appetite %v not above focused %v", s.AppetiteDiverse, s.AppetiteFocused)
+	}
+	if s.RelMean <= 0 || s.RelMean >= 1 || s.RelP10 > s.RelP90 {
+		t.Fatalf("relevance stats %+v", s)
+	}
+	if s.HistoryTopicalShare <= 1/float64(d.M()) {
+		t.Fatalf("history share %v not above uniform", s.HistoryTopicalShare)
+	}
+	if s.PoolCoverage <= 0 || s.PoolCoverage > float64(d.M()) {
+		t.Fatalf("pool coverage %v", s.PoolCoverage)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 0.1, 1, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

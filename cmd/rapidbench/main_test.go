@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func smokeOptions() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Scale = 0.02
+	opt.Epochs = 1
+	opt.Seed = 7
+	return opt
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", smokeOptions(), &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunRegretExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run("regret", smokeOptions(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "regret") {
+		t.Fatalf("regret output missing table: %s", sb.String())
+	}
+}
+
+func TestRunTable5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	var sb strings.Builder
+	if err := run("table5", smokeOptions(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"RAPID-3", "RAPID-5", "RAPID-10", "rev@10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	var sb strings.Builder
+	if err := run("fig5", smokeOptions(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "diverse") || !strings.Contains(sb.String(), "focused") {
+		t.Fatalf("fig5 output missing case users:\n%s", sb.String())
+	}
+}

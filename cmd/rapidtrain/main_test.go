@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestManifestPathSuffix(t *testing.T) {
+	if got := manifestPath("m.gob"); got != "m.json" {
+		t.Fatalf("manifestPath = %s", got)
+	}
+	if got := manifestPath("dir/model.gob"); got != "dir/model.json" {
+		t.Fatalf("manifestPath = %s", got)
+	}
+}
+
+func TestTrainAndSaveRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "model.gob")
+	if err := run("taobao", 0.02, 7, 0.9, out, false); err != nil {
+		t.Fatal(err)
+	}
+	// The weights file and manifest must exist and be loadable.
+	mf, err := os.Open(manifestPath(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	var man Manifest
+	if err := json.NewDecoder(mf).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Dataset != "taobao" || man.Config.Topics != 5 {
+		t.Fatalf("manifest %+v", man)
+	}
+	m := core.New(man.Config)
+	wf, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	if err := m.ParamSet().Load(wf); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Metrics) == 0 {
+		t.Fatal("manifest carries no evaluation metrics")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nope", 0.1, 1, 0.9, filepath.Join(t.TempDir(), "x.gob"), false); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package rapid_test
+
+import (
+	"fmt"
+
+	rapid "repro"
+)
+
+// handInstance builds a 4-item re-ranking instance by hand: two "news"
+// items, one "sports", one "music", with descending initial scores. No
+// dataset or training is involved, so the output is fully deterministic.
+func handInstance() *rapid.Instance {
+	itemFeat := map[int][]float64{
+		1: {0.9, 0.1}, 2: {0.8, 0.2}, 3: {0.1, 0.9}, 4: {0.5, 0.5},
+	}
+	cover := map[int][]float64{
+		1: {1, 0, 0}, // news
+		2: {1, 0, 0}, // news
+		3: {0, 1, 0}, // sports
+		4: {0, 0, 1}, // music
+	}
+	return &rapid.Instance{
+		User:       7,
+		UserFeat:   []float64{0.3, 0.7},
+		Items:      []int{1, 2, 3, 4},
+		InitScores: []float64{0.9, 0.8, 0.5, 0.4},
+		Cover:      [][]float64{cover[1], cover[2], cover[3], cover[4]},
+		History:    []int{1, 3, 4},
+		TopicSeqs:  [][]int{{1}, {3}, {4}},
+		M:          3,
+		ItemFeat:   func(v int) []float64 { return itemFeat[v] },
+		CoverOf:    func(v int) []float64 { return cover[v] },
+	}
+}
+
+// ExampleApply re-ranks with MMR: the duplicate "news" item is demoted in
+// favor of the novel topics.
+func ExampleApply() {
+	inst := handInstance()
+	mmr := rapid.NewMMR()
+	mmr.Theta = 0.5
+	fmt.Println("initial:", inst.Items)
+	fmt.Println("MMR:    ", rapid.Apply(mmr, inst))
+	// Output:
+	// initial: [1 2 3 4]
+	// MMR:     [1 3 4 2]
+}
+
+// ExampleNewDPP shows greedy MAP inference selecting a diverse prefix.
+func ExampleNewDPP() {
+	inst := handInstance()
+	order := rapid.Apply(rapid.NewDPP(), inst)
+	// The three distinct topics come before the duplicate news item.
+	fmt.Println(order[3])
+	// Output:
+	// 2
+}
+
+// ExampleClickAtK computes the utility metric from expected clicks.
+func ExampleClickAtK() {
+	exp := []float64{0.5, 0.3, 0.2}
+	fmt.Printf("%.1f\n", rapid.ClickAtK(exp, 2))
+	// Output:
+	// 0.8
+}
+
+// ExampleInstance_HistoryPreference derives the empirical topic preference
+// a heuristic like adpMMR would use.
+func ExampleInstance_HistoryPreference() {
+	inst := handInstance()
+	pref := inst.HistoryPreference()
+	fmt.Printf("%.2f %.2f %.2f\n", pref[0], pref[1], pref[2])
+	// Output:
+	// 0.33 0.33 0.33
+}

@@ -1,0 +1,78 @@
+// Newsfeed: the λ=0.5 scenario from the paper's Table II(a), where clicks
+// depend on diversity as much as on relevance (news-feed style). Compares
+// RAPID against a relevance-only transformer (PRM) and the diversity
+// heuristics (MMR, DPP) on utility and topic coverage, per user segment.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	rapid "repro"
+)
+
+func main() {
+	opt := rapid.DefaultOptions()
+	opt.Scale = 0.15
+	opt.Log = os.Stderr
+
+	cfg := rapid.TaobaoLike(opt.Seed)
+	rd, err := rapid.BuildRankedData(cfg, rapid.NewDIN(opt.Seed), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// λ=0.5: half of every click is earned by novel topics.
+	env := rapid.BuildEnv(rd, 0.5, opt)
+
+	model := rapid.NewModel(rapid.DefaultModelConfig(cfg.UserDim, cfg.ItemDim, cfg.Topics, opt.Seed))
+	prm := rapid.NewPRM(opt.Hidden, opt.Seed+1)
+	rerankers := []rapid.Reranker{model, prm, rapid.NewMMR(), rapid.NewDPP()}
+	for _, r := range rerankers {
+		if t, ok := r.(rapid.Trainable); ok {
+			if err := t.Fit(env.Train); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	fmt.Println("model      segment   click@10  div@10")
+	for _, r := range rerankers {
+		var clicks, divs [2]float64 // [diverse, focused]
+		var counts [2]float64
+		for _, inst := range env.Test {
+			// Segment users by the entropy of their history distribution.
+			pref := inst.HistoryPreference()
+			ent := 0.0
+			for _, p := range pref {
+				if p > 0 {
+					ent -= p * math.Log(p)
+				}
+			}
+			seg := 0
+			if ent < 0.75*math.Log(float64(inst.M)) {
+				seg = 1
+			}
+			ranked := rapid.Apply(r, inst)
+			exp := env.DCM.ExpectedClicks(inst.User, ranked)
+			cover := make([][]float64, len(ranked))
+			for i, v := range ranked {
+				cover[i] = env.Data.Cover(v)
+			}
+			clicks[seg] += rapid.ClickAtK(exp, 10)
+			divs[seg] += rapid.DivAtK(cover, inst.M, 10)
+			counts[seg]++
+		}
+		for seg, name := range []string{"diverse", "focused"} {
+			if counts[seg] == 0 {
+				continue
+			}
+			fmt.Printf("%-10s %-9s %.4f    %.4f\n",
+				r.Name(), name, clicks[seg]/counts[seg], divs[seg]/counts[seg])
+		}
+	}
+	fmt.Println("\nRAPID should diversify the diverse segment harder than the focused one,")
+	fmt.Println("while pure-relevance (PRM) under-diversifies and MMR/DPP over-diversify uniformly.")
+}

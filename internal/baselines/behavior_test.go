@@ -1,0 +1,198 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rerank"
+)
+
+// permuteInstance returns a copy of inst with its items reordered by perm.
+func permuteInstance(inst *rerank.Instance, perm []int) *rerank.Instance {
+	out := *inst
+	out.Items = make([]int, inst.L())
+	out.InitScores = make([]float64, inst.L())
+	out.Cover = make([][]float64, inst.L())
+	if inst.Labels != nil {
+		out.Labels = make([]float64, inst.L())
+	}
+	for i, p := range perm {
+		out.Items[i] = inst.Items[p]
+		out.InitScores[i] = inst.InitScores[p]
+		out.Cover[i] = inst.Cover[p]
+		if inst.Labels != nil {
+			out.Labels[i] = inst.Labels[p]
+		}
+	}
+	return &out
+}
+
+// TestSetRankPermutationEquivariance checks SetRank's defining property:
+// permuting the input list permutes the scores identically, because the
+// induced attention blocks carry no positional information.
+func TestSetRankPermutationEquivariance(t *testing.T) {
+	insts := fixture(t, 1)
+	inst := insts[0]
+	m := NewSetRank(8, 5)
+	// Force parameter build with a first call.
+	base := m.Scores(inst)
+	perm := rand.New(rand.NewSource(4)).Perm(inst.L())
+	permuted := permuteInstance(inst, perm)
+	got := m.Scores(permuted)
+	for i, p := range perm {
+		if math.Abs(got[i]-base[p]) > 1e-9 {
+			t.Fatalf("SetRank not permutation-equivariant: pos %d score %v vs source %v", i, got[i], base[p])
+		}
+	}
+}
+
+// TestPRMPositionSensitivity checks the converse for PRM: its positional
+// embeddings make scores order-dependent (by design).
+func TestPRMPositionSensitivity(t *testing.T) {
+	inst := fixture(t, 1)[0]
+	m := NewPRM(8, 6)
+	base := m.Scores(inst)
+	perm := make([]int, inst.L())
+	for i := range perm {
+		perm[i] = inst.L() - 1 - i
+	}
+	got := m.Scores(permuteInstance(inst, perm))
+	same := true
+	for i, p := range perm {
+		if math.Abs(got[i]-base[p]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("PRM scores are permutation-equivariant — positional embeddings inactive")
+	}
+}
+
+// TestDLCMContextDependence: DLCM scores depend on the other items in the
+// list (the listwise context), not just the item itself.
+func TestDLCMContextDependence(t *testing.T) {
+	insts := fixture(t, 2)
+	a, b := insts[0], insts[1]
+	m := NewDLCM(8, 7)
+	sa := m.Scores(a)
+	// Replace the tail of a's list with b's items: the score of position 0
+	// must change even though the item at position 0 is identical.
+	mixed := *a
+	mixed.Items = append([]int{a.Items[0]}, b.Items[1:]...)
+	mixed.InitScores = append([]float64{a.InitScores[0]}, b.InitScores[1:]...)
+	mixed.Cover = append([][]float64{a.Cover[0]}, b.Cover[1:]...)
+	mixed.Labels = nil
+	sm := m.Scores(&mixed)
+	if math.Abs(sa[0]-sm[0]) < 1e-12 {
+		t.Fatal("DLCM score ignores listwise context")
+	}
+}
+
+// TestSRGAUsesHistoryFreeInputs ensures the relevance-oriented baselines
+// never touch the behavior history (their defining limitation vs RAPID).
+func TestSRGAUsesHistoryFreeInputs(t *testing.T) {
+	inst := fixture(t, 1)[0]
+	m := NewSRGA(8, 8)
+	base := m.Scores(inst)
+	altered := *inst
+	altered.History = nil
+	altered.TopicSeqs = make([][]int, inst.M)
+	got := m.Scores(&altered)
+	for i := range base {
+		if math.Abs(base[i]-got[i]) > 1e-12 {
+			t.Fatal("SRGA consumed the behavior history")
+		}
+	}
+}
+
+// TestDPPQualityWeightSharpness: raising the quality weight should push the
+// greedy order toward the relevance order.
+func TestDPPQualityWeightSharpness(t *testing.T) {
+	inst := fixture(t, 1)[0]
+	sharp := &DPP{QualityWeight: 8, FeatureMix: 0.3}
+	order := rerank.Apply(sharp, inst)
+	relOrder := rerank.OrderByScores(inst.Items, inst.InitScores)
+	if order[0] != relOrder[0] {
+		t.Fatalf("sharp DPP first pick %d, relevance first %d", order[0], relOrder[0])
+	}
+}
+
+// TestMMRThetaMonotonicity: decreasing θ can only hold or increase the
+// coverage of the selected prefix.
+func TestMMRThetaMonotonicity(t *testing.T) {
+	inst := fixture(t, 1)[0]
+	prevDiv := -1.0
+	for _, theta := range []float64{1.0, 0.7, 0.4, 0.1} {
+		order := rerank.Apply(&MMR{Theta: theta}, inst)
+		idx := map[int]int{}
+		for pos, v := range inst.Items {
+			idx[v] = pos
+		}
+		var cov [][]float64
+		for _, v := range order[:5] {
+			cov = append(cov, inst.Cover[idx[v]])
+		}
+		var div float64
+		for _, c := range coverage(cov, inst.M) {
+			div += c
+		}
+		if div < prevDiv-0.3 { // mild slack: greedy is not strictly nested
+			t.Fatalf("coverage dropped sharply as θ decreased: %v → %v", prevDiv, div)
+		}
+		if div > prevDiv {
+			prevDiv = div
+		}
+	}
+}
+
+// TestAdpMMRFocusedVsDiverse: a user with concentrated history gets a more
+// relevance-like θ than a user with spread history.
+func TestAdpMMRFocusedVsDiverse(t *testing.T) {
+	cfg := dataset.TaobaoLike(77)
+	cfg.NumUsers = 40
+	cfg.NumItems = 80
+	cfg.Categories = 15
+	cfg.RerankRequests = 8
+	cfg.TestRequests = 4
+	d := dataset.MustGenerate(cfg)
+	rng := rand.New(rand.NewSource(1))
+	// Find the most and least entropic users by history.
+	var lo, hi *rerank.Instance
+	var loH, hiH = math.Inf(1), math.Inf(-1)
+	for _, p := range d.RerankPools {
+		items := p.Candidates[:10]
+		req := dataset.Request{User: p.User, Items: items, InitScores: make([]float64, 10)}
+		inst := rerank.NewInstance(d, req, rng)
+		h := entropyOf(inst.HistoryPreference())
+		if h < loH {
+			loH, lo = h, inst
+		}
+		if h > hiH {
+			hiH, hi = h, inst
+		}
+	}
+	if lo == nil || hi == nil || loH == hiH {
+		t.Skip("degenerate population")
+	}
+	// The diverse user's effective diversity weight must exceed the
+	// focused user's — verified through the internal propensity formula.
+	adp := NewAdpMMR()
+	wLo := adp.MaxDiversityWeight * loH / math.Log(float64(lo.M))
+	wHi := adp.MaxDiversityWeight * hiH / math.Log(float64(hi.M))
+	if wHi <= wLo {
+		t.Fatalf("diverse propensity %v not above focused %v", wHi, wLo)
+	}
+}
+
+func entropyOf(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,128 @@
+package baselines
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rerank"
+	"repro/internal/topics"
+)
+
+// greedyScores converts a greedy selection order (indices into the
+// instance's items, best first) into a score vector aligned with the
+// original positions, so greedy re-rankers satisfy the Reranker contract.
+func greedyScores(order []int, l int) []float64 {
+	scores := make([]float64, l)
+	for rank, idx := range order {
+		scores[idx] = float64(l - rank)
+	}
+	return scores
+}
+
+// normalizeRelevance min-max scales initial scores into [0,1] so the
+// relevance and coverage-gain terms of MMR-style objectives are comparable.
+func normalizeRelevance(init []float64) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range init {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	out := make([]float64, len(init))
+	if hi-lo < 1e-12 {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, s := range init {
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}
+
+// MMR is Carbonell & Goldstein's Maximal Marginal Relevance, instantiated
+// with the probabilistic-coverage gain as the novelty term: items are
+// selected greedily by θ·rel + (1−θ)·coverage-gain. The tradeoff θ is
+// global — identical for every user — which is exactly the limitation
+// RAPID addresses.
+type MMR struct {
+	// Theta is the relevance weight θ ∈ [0,1].
+	Theta float64
+}
+
+// NewMMR returns MMR with the harness default θ = 0.7.
+func NewMMR() *MMR { return &MMR{Theta: 0.7} }
+
+// Name implements rerank.Reranker.
+func (m *MMR) Name() string { return "MMR" }
+
+// Scores implements rerank.Reranker.
+func (m *MMR) Scores(inst *rerank.Instance) []float64 {
+	return mmrScores(inst, m.Theta, nil)
+}
+
+// mmrScores runs the greedy MMR loop. topicWeights, when non-nil, weights
+// the per-topic coverage gain (adpMMR's personalization).
+func mmrScores(inst *rerank.Instance, theta float64, topicWeights []float64) []float64 {
+	l := inst.L()
+	rel := normalizeRelevance(inst.InitScores)
+	ic := topics.NewIncrementalCoverage(inst.M)
+	selected := make([]bool, l)
+	order := make([]int, 0, l)
+	for len(order) < l {
+		best, bestScore := -1, math.Inf(-1)
+		for i := 0; i < l; i++ {
+			if selected[i] {
+				continue
+			}
+			var gain float64
+			if topicWeights == nil {
+				gain = ic.GainTotal(inst.Cover[i])
+			} else {
+				g := ic.Gain(inst.Cover[i])
+				gain = mat.Dot(topicWeights, g) * float64(inst.M)
+			}
+			s := theta*rel[i] + (1-theta)*gain
+			if s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		selected[best] = true
+		ic.Add(inst.Cover[best])
+		order = append(order, best)
+	}
+	return greedyScores(order, l)
+}
+
+// AdpMMR is the adaptive-diversity heuristic of Di Noia et al.: the user's
+// propensity toward diversity — the normalized entropy of their historical
+// topic distribution — sets the MMR tradeoff per user. Only the *degree* of
+// diversification is personalized; the diversity term itself stays the
+// global coverage gain, exactly as in the original (and as the paper
+// criticizes: "rule-based and non-learnable").
+type AdpMMR struct {
+	// MaxDiversityWeight caps how much of the objective the diversity term
+	// can claim for a maximally-entropic user.
+	MaxDiversityWeight float64
+}
+
+// NewAdpMMR returns adpMMR with the harness default cap 0.5.
+func NewAdpMMR() *AdpMMR { return &AdpMMR{MaxDiversityWeight: 0.5} }
+
+// Name implements rerank.Reranker.
+func (m *AdpMMR) Name() string { return "adpMMR" }
+
+// Scores implements rerank.Reranker.
+func (m *AdpMMR) Scores(inst *rerank.Instance) []float64 {
+	pref := inst.HistoryPreference()
+	propensity := 0.0
+	if inst.M > 1 {
+		propensity = mat.Entropy(pref) / math.Log(float64(inst.M))
+	}
+	theta := 1 - m.MaxDiversityWeight*propensity
+	return mmrScores(inst, theta, nil)
+}

@@ -1,0 +1,239 @@
+package clickmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testDCM builds a small deterministic DCM over 4 items and 2 topics.
+func testDCM(lambda float64) *DCM {
+	rel := map[int]float64{0: 0.8, 1: 0.6, 2: 0.4, 3: 0.2}
+	cover := map[int][]float64{
+		0: {1, 0}, 1: {1, 0}, 2: {0, 1}, 3: {0, 1},
+	}
+	return &DCM{
+		Lambda:      lambda,
+		Relevance:   func(_, v int) float64 { return rel[v] },
+		DivWeight:   func(int) []float64 { return []float64{0.5, 0.5} },
+		Cover:       func(v int) []float64 { return cover[v] },
+		Termination: []float64{0.5, 0.4, 0.3, 0.2},
+		Topics:      2,
+	}
+}
+
+func TestAttractionsPureRelevance(t *testing.T) {
+	d := testDCM(1.0)
+	phi := d.Attractions(0, []int{0, 1, 2, 3})
+	want := []float64{0.8, 0.6, 0.4, 0.2}
+	for i, w := range want {
+		if math.Abs(phi[i]-w) > 1e-12 {
+			t.Fatalf("phi[%d] = %v, want %v", i, phi[i], w)
+		}
+	}
+}
+
+func TestAttractionsDiversityGain(t *testing.T) {
+	d := testDCM(0.5)
+	// Items 0,1 share topic 0. The second occurrence of the topic earns no
+	// coverage gain, so item 1 placed after 0 has φ = 0.5·0.6 + 0.5·0 = 0.3.
+	phi := d.Attractions(0, []int{0, 1, 2})
+	if math.Abs(phi[0]-(0.5*0.8+0.5*0.5)) > 1e-12 {
+		t.Fatalf("phi[0] = %v", phi[0])
+	}
+	if math.Abs(phi[1]-0.3) > 1e-12 {
+		t.Fatalf("phi[1] = %v, want 0.3 (no diversity gain)", phi[1])
+	}
+	// Item 2 opens topic 1: full gain.
+	if math.Abs(phi[2]-(0.5*0.4+0.5*0.5)) > 1e-12 {
+		t.Fatalf("phi[2] = %v", phi[2])
+	}
+}
+
+func TestAttractionsOrderDependence(t *testing.T) {
+	d := testDCM(0.5)
+	a := d.Attractions(0, []int{0, 1})
+	b := d.Attractions(0, []int{1, 0})
+	// Whichever same-topic item is listed first receives the coverage
+	// gain; the second receives none.
+	if math.Abs(a[0]-0.65) > 1e-9 || math.Abs(a[1]-0.30) > 1e-9 {
+		t.Fatalf("list {0,1}: %v", a)
+	}
+	if math.Abs(b[0]-0.55) > 1e-9 || math.Abs(b[1]-0.40) > 1e-9 {
+		t.Fatalf("list {1,0}: %v", b)
+	}
+}
+
+// Property: attraction probabilities stay in [0, 1] under any weights.
+func TestAttractionsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := rng.Float64()
+		d := testDCM(lambda)
+		list := rng.Perm(4)
+		for _, p := range d.Attractions(0, list) {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonExtension(t *testing.T) {
+	d := testDCM(1)
+	if d.Epsilon(0) != 0.5 || d.Epsilon(3) != 0.2 {
+		t.Fatal("Epsilon lookup broken")
+	}
+	if d.Epsilon(10) != 0.2 {
+		t.Fatalf("Epsilon beyond slice = %v, want last value", d.Epsilon(10))
+	}
+	empty := &DCM{}
+	if empty.Epsilon(0) != 0 {
+		t.Fatal("empty termination should give 0")
+	}
+}
+
+func TestExpectedClicksMatchesSimulation(t *testing.T) {
+	d := testDCM(0.7)
+	list := []int{0, 2, 1, 3}
+	exp := d.ExpectedClicks(0, list)
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := make([]float64, len(list))
+	for i := 0; i < n; i++ {
+		clicks, _ := d.Simulate(0, list, rng)
+		for k, c := range clicks {
+			if c {
+				counts[k]++
+			}
+		}
+	}
+	for k := range list {
+		mc := counts[k] / n
+		if math.Abs(mc-exp[k]) > 0.01 {
+			t.Fatalf("position %d: simulated %v vs expected %v", k, mc, exp[k])
+		}
+	}
+}
+
+func TestSimulateTermination(t *testing.T) {
+	// ε = 1 everywhere: the session must end at the first click.
+	d := testDCM(1)
+	d.Termination = []float64{1, 1, 1, 1}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		clicks, left := d.Simulate(0, []int{0, 1, 2, 3}, rng)
+		n := 0
+		for _, c := range clicks {
+			if c {
+				n++
+			}
+		}
+		if n > 1 {
+			t.Fatal("more than one click with certain termination")
+		}
+		if n == 1 && left == len(clicks) {
+			t.Fatal("clicked but reported full scan")
+		}
+	}
+}
+
+func TestSatisfactionMonotoneInK(t *testing.T) {
+	d := testDCM(0.6)
+	list := []int{0, 1, 2, 3}
+	prev := 0.0
+	for k := 1; k <= 4; k++ {
+		s := d.Satisfaction(0, list, k)
+		if s < prev-1e-12 || s < 0 || s > 1 {
+			t.Fatalf("satisfaction not monotone/bounded: k=%d s=%v prev=%v", k, s, prev)
+		}
+		prev = s
+	}
+	// k beyond the list length saturates.
+	if d.Satisfaction(0, list, 10) != d.Satisfaction(0, list, 4) {
+		t.Fatal("satisfaction beyond list length changed")
+	}
+}
+
+func TestDefaultTermination(t *testing.T) {
+	eps := DefaultTermination(10, 0.8, 0.9)
+	for i := 1; i < len(eps); i++ {
+		if eps[i] > eps[i-1] {
+			t.Fatal("termination not non-increasing")
+		}
+	}
+	for _, e := range eps {
+		if e < 0.05 || e > 0.95 {
+			t.Fatalf("termination %v outside clamp", e)
+		}
+	}
+}
+
+func TestEstimateRecoversAttraction(t *testing.T) {
+	// Pure-relevance DCM: the counting estimator must recover per-item
+	// attraction within sampling error.
+	d := testDCM(1.0)
+	rng := rand.New(rand.NewSource(11))
+	var logs []Session
+	for i := 0; i < 30000; i++ {
+		list := rng.Perm(4)
+		clicks, _ := d.Simulate(0, list, rng)
+		logs = append(logs, Session{User: 0, List: list, Clicks: clicks})
+	}
+	est := Estimate(logs, 1.0, 2, d.Cover, 4)
+	for v, want := range map[int]float64{0: 0.8, 1: 0.6, 2: 0.4, 3: 0.2} {
+		if math.Abs(est.Alpha[v]-want) > 0.05 {
+			t.Fatalf("alpha[%d] = %v, want ≈%v", v, est.Alpha[v], want)
+		}
+	}
+	// Termination estimates live in (0, 1) and are sane at position 0.
+	if est.Eps[0] < 0.3 || est.Eps[0] > 0.7 {
+		t.Fatalf("eps[0] = %v, want ≈0.5", est.Eps[0])
+	}
+}
+
+func TestEstimateRhoImprovesLikelihood(t *testing.T) {
+	d := testDCM(0.5)
+	rng := rand.New(rand.NewSource(13))
+	var logs []Session
+	for i := 0; i < 4000; i++ {
+		list := rng.Perm(4)
+		clicks, _ := d.Simulate(0, list, rng)
+		logs = append(logs, Session{User: 0, List: list, Clicks: clicks})
+	}
+	est := Estimate(logs, 0.5, 2, d.Cover, 4)
+	withRho := est.LogLikelihood(logs)
+	noRho := &Estimated{Alpha: est.Alpha, Eps: est.Eps, Rho: map[int][]float64{}, Lambda: 0.5, Topics: 2, Cover: d.Cover}
+	without := noRho.LogLikelihood(logs)
+	if withRho < without {
+		t.Fatalf("fitted rho decreased log-likelihood: %v < %v", withRho, without)
+	}
+	// The fitted ρ should be positive on both topics (truth is 0.5, 0.5).
+	rho := est.Rho[0]
+	if rho == nil || rho[0] <= 0 || rho[1] <= 0 {
+		t.Fatalf("rho = %v, want positive entries", rho)
+	}
+}
+
+func TestEstimatedSatisfactionBounds(t *testing.T) {
+	d := testDCM(0.8)
+	rng := rand.New(rand.NewSource(17))
+	var logs []Session
+	for i := 0; i < 500; i++ {
+		list := rng.Perm(4)
+		clicks, _ := d.Simulate(0, list, rng)
+		logs = append(logs, Session{User: 0, List: list, Clicks: clicks})
+	}
+	est := Estimate(logs, 0.8, 2, d.Cover, 4)
+	for k := 1; k <= 4; k++ {
+		s := est.Satisfaction(0, []int{0, 1, 2, 3}, k)
+		if s < 0 || s > 1 {
+			t.Fatalf("satis@%d = %v", k, s)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/topics"
+)
+
+// TestDiagAttraction prints the relevance/diversity composition of the DCM
+// attraction on the initial lists — a generator-calibration diagnostic.
+func TestDiagAttraction(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Scale = 0.25
+	for _, cfg := range []dataset.Config{dataset.TaobaoLike(42), dataset.MovieLensLike(42)} {
+		rd, err := cachedRankedData(cfg, "DIN", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := BuildEnv(rd, 0.5, opt)
+		d := env.Data
+		var relSum, divSum, maxCov, nItems float64
+		var firstGain, laterGain, nFirst, nLater float64
+		for _, inst := range env.Test {
+			rho := d.DivWeight(inst.User)
+			ic := topics.NewIncrementalCoverage(d.M())
+			for i, v := range inst.Items {
+				rel := d.Relevance(inst.User, v)
+				gain := ic.Gain(inst.Cover[i])
+				div := mat.Dot(rho, gain)
+				relSum += rel
+				divSum += div
+				mx := 0.0
+				for _, c := range inst.Cover[i] {
+					if c > mx {
+						mx = c
+					}
+				}
+				maxCov += mx
+				nItems++
+				if i < 5 {
+					firstGain += div
+					nFirst++
+				} else {
+					laterGain += div
+					nLater++
+				}
+				ic.Add(inst.Cover[i])
+			}
+		}
+		t.Logf("%s: mean rel=%.3f mean divterm=%.3f mean max-cov=%.3f | div in top5=%.3f later=%.3f",
+			cfg.Name, relSum/nItems, divSum/nItems, maxCov/nItems, firstGain/nFirst, laterGain/nLater)
+	}
+}

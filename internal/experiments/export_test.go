@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	tbl := &Table{
+		Title:  "Sample",
+		Header: []string{"model", "click@10"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("Init", "1.0000")
+	tbl.AddRow("RAPID-pro", "1.2000")
+	return tbl
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# Sample", "model,click@10", "RAPID-pro,1.2000", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := sampleTable().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded tableJSON
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "Sample" || len(decoded.Rows) != 2 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if decoded.Rows[1]["model"] != "RAPID-pro" || decoded.Rows[1]["click@10"] != "1.2000" {
+		t.Fatalf("row mapping %v", decoded.Rows[1])
+	}
+}

@@ -1,0 +1,252 @@
+// Package experiments wires the substrates together into the paper's
+// evaluation pipeline (Section IV): generate a dataset, train an initial
+// ranker, build initial lists, simulate clicks with the DCM environment,
+// train every re-ranker, and compute the table/figure quantities. Each
+// table and figure of the paper has a driver function in this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clickmodel"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/ranker"
+	"repro/internal/rerank"
+)
+
+// Options controls experiment size and reporting.
+type Options struct {
+	// Scale multiplies every dataset count; 1.0 is the harness default
+	// (a laptop-scale stand-in for the paper's millions of interactions).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Hidden is q_h for all neural models.
+	Hidden int
+	// D is RAPID's per-topic behavior length.
+	D int
+	// Epochs for neural re-ranker training.
+	Epochs int
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// DefaultOptions returns the harness defaults (hidden 16, D 5).
+func DefaultOptions() Options {
+	return Options{Scale: 1, Seed: 42, Hidden: 16, D: 5, Epochs: 8}
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Env is a fully prepared experimental environment for one (dataset,
+// initial ranker, λ) triple.
+type Env struct {
+	Data   *dataset.Dataset
+	Ranker ranker.Ranker
+	DCM    *clickmodel.DCM
+	Lambda float64
+	// Train/Test are the re-ranking training and test instances.
+	Train []*rerank.Instance
+	Test  []*rerank.Instance
+}
+
+// RankedData is a dataset with a fitted initial ranker and its precomputed
+// initial lists — shared across λ settings, since clicks are the only thing
+// λ changes.
+type RankedData struct {
+	Data        *dataset.Dataset
+	Ranker      ranker.Ranker
+	trainLists  [][]int
+	trainScores [][]float64
+	trainUsers  []int
+	testLists   [][]int
+	testScores  [][]float64
+	testUsers   []int
+}
+
+// BuildRankedData generates a dataset, fits the initial ranker on the
+// ranker-train split, and materializes the initial lists for the re-rank
+// train and test pools.
+func BuildRankedData(cfg dataset.Config, rk ranker.Ranker, opt Options) (*RankedData, error) {
+	if opt.Scale != 1 {
+		cfg = cfg.Scaled(opt.Scale)
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("[%s] dataset: %d users, %d items, %d train requests, %d test requests",
+		cfg.Name, len(d.Users), len(d.Items), len(d.RerankPools), len(d.TestPools))
+	start := time.Now()
+	if err := rk.Fit(d); err != nil {
+		return nil, fmt.Errorf("experiments: fit initial ranker %s: %w", rk.Name(), err)
+	}
+	opt.logf("[%s] initial ranker %s fitted in %v", cfg.Name, rk.Name(), time.Since(start).Round(time.Millisecond))
+	rd := &RankedData{Data: d, Ranker: rk}
+	for _, p := range d.RerankPools {
+		items, scores := ranker.RankPool(rk, d, p, cfg.ListLen)
+		rd.trainLists = append(rd.trainLists, items)
+		rd.trainScores = append(rd.trainScores, scores)
+		rd.trainUsers = append(rd.trainUsers, p.User)
+	}
+	for _, p := range d.TestPools {
+		items, scores := ranker.RankPool(rk, d, p, cfg.ListLen)
+		rd.testLists = append(rd.testLists, items)
+		rd.testScores = append(rd.testScores, scores)
+		rd.testUsers = append(rd.testUsers, p.User)
+	}
+	return rd, nil
+}
+
+// BuildEnv derives the λ-specific environment from ranked data: the DCM,
+// simulated training clicks, and assembled instances.
+func BuildEnv(rd *RankedData, lambda float64, opt Options) *Env {
+	d := rd.Data
+	dcm := &clickmodel.DCM{
+		Lambda:      lambda,
+		Relevance:   d.Relevance,
+		DivWeight:   d.DivWeight,
+		Cover:       d.Cover,
+		Termination: clickmodel.DefaultTermination(d.Cfg.ListLen, 0.75, 0.92),
+		Topics:      d.M(),
+	}
+	env := &Env{Data: d, Ranker: rd.Ranker, DCM: dcm, Lambda: lambda}
+	clickRNG := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
+	instRNG := rand.New(rand.NewSource(opt.Seed ^ 0x1257))
+	for i := range rd.trainLists {
+		clicks, _ := dcm.Simulate(rd.trainUsers[i], rd.trainLists[i], clickRNG)
+		req := dataset.Request{
+			User:       rd.trainUsers[i],
+			Items:      rd.trainLists[i],
+			InitScores: rd.trainScores[i],
+			Clicks:     clicks,
+		}
+		env.Train = append(env.Train, rerank.NewInstance(d, req, instRNG))
+	}
+	for i := range rd.testLists {
+		req := dataset.Request{
+			User:       rd.testUsers[i],
+			Items:      rd.testLists[i],
+			InitScores: rd.testScores[i],
+		}
+		env.Test = append(env.Test, rerank.NewInstance(d, req, instRNG))
+	}
+	return env
+}
+
+// EvalResult holds per-request metric samples for one re-ranker, enabling
+// both means and significance tests.
+type EvalResult struct {
+	Name       string
+	PerRequest map[string][]float64
+}
+
+// Mean returns the average of one metric.
+func (r *EvalResult) Mean(metric string) float64 {
+	return metrics.Mean(r.PerRequest[metric])
+}
+
+// Metrics returns the sorted metric keys.
+func (r *EvalResult) Metrics() []string {
+	keys := make([]string, 0, len(r.PerRequest))
+	for k := range r.PerRequest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Evaluate runs the re-ranker over the test instances and computes the
+// paper's metrics at the given cutoffs. Expected (exact) DCM click
+// probabilities are used instead of sampled clicks, which removes
+// evaluation variance without changing any expectation. Requests are
+// scored in parallel (inference is read-only on a fitted model); results
+// keep the test-set order so paired significance tests line up.
+func (e *Env) Evaluate(r rerank.Reranker, ks []int) *EvalResult {
+	res := &EvalResult{Name: r.Name(), PerRequest: make(map[string][]float64)}
+	type reqMetrics struct {
+		keys []string
+		vals []float64
+	}
+	perReq := make([]reqMetrics, len(e.Test))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(e.Test) {
+		workers = len(e.Test)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.Test) {
+					return
+				}
+				inst := e.Test[i]
+				ranked := rerank.Apply(r, inst)
+				exp := e.DCM.ExpectedClicks(inst.User, ranked)
+				cover := make([][]float64, len(ranked))
+				for j, v := range ranked {
+					cover[j] = e.Data.Cover(v)
+				}
+				var rm reqMetrics
+				add := func(metric string, v float64) {
+					rm.keys = append(rm.keys, metric)
+					rm.vals = append(rm.vals, v)
+				}
+				for _, k := range ks {
+					suffix := fmt.Sprintf("@%d", k)
+					add("click"+suffix, metrics.ClickAtK(exp, k))
+					add("ndcg"+suffix, metrics.NDCGAtK(exp, k))
+					add("div"+suffix, metrics.DivAtK(cover, e.Data.M(), k))
+					add("satis"+suffix, e.DCM.Satisfaction(inst.User, ranked, k))
+					if e.Data.Cfg.WithBids {
+						bids := make([]float64, len(ranked))
+						for j, v := range ranked {
+							bids[j] = e.Data.Bid(v)
+						}
+						add("rev"+suffix, metrics.RevAtK(exp, bids, k))
+					}
+				}
+				perReq[i] = rm
+			}
+		}()
+	}
+	wg.Wait()
+	for _, rm := range perReq {
+		for j, key := range rm.keys {
+			res.PerRequest[key] = append(res.PerRequest[key], rm.vals[j])
+		}
+	}
+	return res
+}
+
+// FitIfTrainable fits r on the environment's training instances when it is
+// trainable; heuristic re-rankers pass through.
+func (e *Env) FitIfTrainable(r rerank.Reranker, opt Options) error {
+	t, ok := r.(rerank.Trainable)
+	if !ok {
+		return nil
+	}
+	start := time.Now()
+	err := t.Fit(e.Train)
+	opt.logf("[%s λ=%.1f] trained %s in %v", e.Data.Name, e.Lambda, r.Name(), time.Since(start).Round(time.Millisecond))
+	return err
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// RunTable4 reproduces Table IV: the full roster on both public datasets
+// with the SVMRank and LambdaMART initial rankers at λ = 0.9, reporting
+// click@10 and div@10 (the columns the paper shows).
+func RunTable4(opt Options) ([]*Table, error) {
+	const lambda = 0.9
+	var tables []*Table
+	for _, rkName := range []string{"SVMRank", "LambdaMART"} {
+		for _, cfg := range publicDatasets(opt) {
+			rd, err := cachedRankedData(cfg, rkName, opt)
+			if err != nil {
+				return nil, err
+			}
+			env := BuildEnv(rd, lambda, opt)
+			tbl, err := utilityTable(env, opt,
+				fmt.Sprintf("Table IV — %s, initial ranker %s (λ=%.1f)", cfg.Name, rkName, lambda),
+				[]string{"click@10", "div@10"})
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, tbl)
+		}
+	}
+	return tables, nil
+}

@@ -1,0 +1,386 @@
+// Package mat provides dense float64 matrices and the small set of linear
+// algebra routines the rest of the library is built on. It is deliberately
+// BLAS-free and allocation-conscious: every neural component in this
+// repository (internal/nn and the models built on it) reduces to the
+// operations defined here.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix. Matrices returned by the constructors
+// in this package own their backing slice; methods that return a new Matrix
+// never alias the receiver unless documented otherwise.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the entries in row-major order: element (i, j) lives at
+	// Data[i*Cols+j].
+	Data []float64
+}
+
+// New returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix that takes ownership of data.
+// It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: FromSlice length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix whose i-th row is rows[i]. All rows must have
+// equal length. An empty input yields a 0×0 matrix.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("mat: FromRows ragged input: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// RowVector builds a 1×len(v) matrix copying v.
+func RowVector(v []float64) *Matrix {
+	m := New(1, len(v))
+	copy(m.Data, v)
+	return m
+}
+
+// ColVector builds a len(v)×1 matrix copying v.
+func ColVector(v []float64) *Matrix {
+	m := New(len(v), 1)
+	copy(m.Data, v)
+	return m
+}
+
+// At returns element (i, j). Bounds are checked by the slice access.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all entries of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets all entries of m to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and n have identical dimensions.
+func (m *Matrix) SameShape(n *Matrix) bool { return m.Rows == n.Rows && m.Cols == n.Cols }
+
+func (m *Matrix) assertSameShape(n *Matrix, op string) {
+	if !m.SameShape(n) {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+// Add returns m + n element-wise.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	m.assertSameShape(n, "Add")
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates n into m and returns m.
+func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
+	m.assertSameShape(n, "AddInPlace")
+	for i := range m.Data {
+		m.Data[i] += n.Data[i]
+	}
+	return m
+}
+
+// Sub returns m − n element-wise.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	m.assertSameShape(n, "Sub")
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out
+}
+
+// MulElem returns the Hadamard (element-wise) product m ⊙ n.
+func (m *Matrix) MulElem(n *Matrix) *Matrix {
+	m.assertSameShape(n, "MulElem")
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] * n.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every entry by s and returns m.
+func (m *Matrix) ScaleInPlace(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddScaledInPlace accumulates s·n into m and returns m.
+func (m *Matrix) AddScaledInPlace(s float64, n *Matrix) *Matrix {
+	m.assertSameShape(n, "AddScaledInPlace")
+	for i := range m.Data {
+		m.Data[i] += s * n.Data[i]
+	}
+	return m
+}
+
+// MatMul returns the matrix product m·n. It panics unless m.Cols == n.Rows.
+// The kernel is the classic ikj loop order, which keeps the inner loop
+// streaming over contiguous rows of n and out.
+func (m *Matrix) MatMul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := New(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*n.Cols : (i+1)*n.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			for j, nv := range nrow {
+				orow[j] += mv * nv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Apply returns a new matrix with f applied to every entry.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all entries, or 0 for an empty matrix.
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute entry, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ConcatCols returns [m | n]: the matrices stacked horizontally.
+// Both must have the same number of rows.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("mat: ConcatCols row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := i * cols
+		for _, m := range ms {
+			copy(out.Data[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks the matrices vertically. All must share a column count.
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("mat: ConcatRows col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [from, to) of m.
+func (m *Matrix) SliceRows(from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("mat: SliceRows [%d,%d) out of range for %d rows", from, to, m.Rows))
+	}
+	out := New(to-from, m.Cols)
+	copy(out.Data, m.Data[from*m.Cols:to*m.Cols])
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of m.
+func (m *Matrix) SliceCols(from, to int) *Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("mat: SliceCols [%d,%d) out of range for %d cols", from, to, m.Cols))
+	}
+	out := New(m.Rows, to-from)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[from:to])
+	}
+	return out
+}
+
+// SoftmaxRows returns a matrix where each row of m is replaced by its
+// softmax. The implementation subtracts the row max for numerical stability.
+func (m *Matrix) SoftmaxRows() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// EqualApprox reports whether m and n have the same shape and all entries
+// within tol of each other.
+func (m *Matrix) EqualApprox(n *Matrix, tol float64) bool {
+	if !m.SameShape(n) {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders m for debugging; large matrices are abbreviated.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.Rows, m.Cols)
+	const maxShown = 8
+	for i, v := range m.Data {
+		if i >= maxShown {
+			fmt.Fprintf(&b, " …(%d more)", len(m.Data)-maxShown)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.4g", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

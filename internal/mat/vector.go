@@ -1,0 +1,155 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddVec returns a + b element-wise.
+func AddVec(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mat: AddVec length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// ScaleVec returns s·a.
+func ScaleVec(s float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = s * v
+	}
+	return out
+}
+
+// NormVec returns the Euclidean norm of a.
+func NormVec(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumVec returns the sum of the entries of a.
+func SumVec(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Softmax returns the softmax of a, computed stably.
+func Softmax(a []float64) []float64 {
+	out := make([]float64, len(a))
+	if len(a) == 0 {
+		return out
+	}
+	mx := a[0]
+	for _, v := range a[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range a {
+		e := math.Exp(v - mx)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Normalize returns a scaled so its entries sum to 1. If the sum is zero it
+// returns the uniform distribution.
+func Normalize(a []float64) []float64 {
+	s := SumVec(a)
+	out := make([]float64, len(a))
+	if s == 0 {
+		if len(a) > 0 {
+			u := 1 / float64(len(a))
+			for i := range out {
+				out[i] = u
+			}
+		}
+		return out
+	}
+	for i, v := range a {
+		out[i] = v / s
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero entries contribute zero.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// ArgSortDesc returns the indices that sort a in descending order.
+// Ties are broken by ascending index so the result is deterministic.
+func ArgSortDesc(a []float64) []int {
+	idx := make([]int, len(a))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return a[idx[x]] > a[idx[y]] })
+	return idx
+}
+
+// TopK returns the indices of the k largest entries of a, in descending
+// order of value. If k exceeds len(a) the full argsort is returned.
+func TopK(a []float64, k int) []int {
+	idx := ArgSortDesc(a)
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// Sigmoid returns 1/(1+e^{-x}) computed without overflow for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,494 @@
+// Package nn is a small neural-network library built for this reproduction:
+// a reverse-mode automatic-differentiation tape over dense matrices, the
+// recurrent and attention layers RAPID and its baselines require, and the
+// Adam optimizer. Everything is stdlib-only and single-goroutine per tape.
+//
+// The usual pattern is:
+//
+//	tape := nn.NewTape()
+//	out := layer.Forward(tape, tape.Constant(x))
+//	loss := tape.SigmoidBCE(out, targets)
+//	tape.Backward(loss)        // accumulates into Param.Grad
+//	optimizer.Step(params)     // consumes and zeroes the gradients
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Node is one value in the computation graph. Value is the forward result;
+// Grad accumulates ∂loss/∂Value during Backward. For parameter nodes Grad
+// aliases the owning Param's gradient so that repeated forward passes
+// accumulate into the same buffer.
+type Node struct {
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+	back  func() // propagates this node's Grad into its inputs; nil for leaves
+}
+
+// Tape records nodes in topological (creation) order so Backward can run a
+// single reverse sweep. A Tape is cheap; create a fresh one per forward pass.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{nodes: make([]*Node, 0, 256)} }
+
+func (t *Tape) newNode(v *mat.Matrix, back func()) *Node {
+	n := &Node{Value: v, Grad: mat.New(v.Rows, v.Cols), back: back}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Constant wraps a matrix that requires no gradient. Backward still flows
+// into its Grad buffer (harmlessly) but nothing reads it.
+func (t *Tape) Constant(v *mat.Matrix) *Node {
+	return t.newNode(v, nil)
+}
+
+// Use introduces parameter p into the graph. The returned node's gradient
+// buffer is p.Grad itself, so Backward accumulates directly into the param.
+func (t *Tape) Use(p *Param) *Node {
+	n := &Node{Value: p.Value, Grad: p.Grad, back: nil}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Backward seeds loss with gradient 1 and propagates through the tape in
+// reverse creation order. loss must be a 1×1 node produced by this tape.
+func (t *Tape) Backward(loss *Node) {
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward target must be 1x1, got %dx%d", loss.Value.Rows, loss.Value.Cols))
+	}
+	loss.Grad.Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if n := t.nodes[i]; n.back != nil {
+			n.back()
+		}
+	}
+}
+
+// Add returns a + b.
+func (t *Tape) Add(a, b *Node) *Node {
+	out := t.newNode(a.Value.Add(b.Value), nil)
+	out.back = func() {
+		a.Grad.AddInPlace(out.Grad)
+		b.Grad.AddInPlace(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a − b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := t.newNode(a.Value.Sub(b.Value), nil)
+	out.back = func() {
+		a.Grad.AddInPlace(out.Grad)
+		b.Grad.AddScaledInPlace(-1, out.Grad)
+	}
+	return out
+}
+
+// Mul returns the element-wise product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := t.newNode(a.Value.MulElem(b.Value), nil)
+	out.back = func() {
+		a.Grad.AddInPlace(out.Grad.MulElem(b.Value))
+		b.Grad.AddInPlace(out.Grad.MulElem(a.Value))
+	}
+	return out
+}
+
+// Scale returns s·a for a fixed scalar s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := t.newNode(a.Value.Scale(s), nil)
+	out.back = func() {
+		a.Grad.AddScaledInPlace(s, out.Grad)
+	}
+	return out
+}
+
+// MatMul returns the matrix product a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := t.newNode(a.Value.MatMul(b.Value), nil)
+	out.back = func() {
+		// dA = dOut · Bᵀ ; dB = Aᵀ · dOut
+		a.Grad.AddInPlace(out.Grad.MatMul(b.Value.T()))
+		b.Grad.AddInPlace(a.Value.T().MatMul(out.Grad))
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func (t *Tape) Transpose(a *Node) *Node {
+	out := t.newNode(a.Value.T(), nil)
+	out.back = func() {
+		a.Grad.AddInPlace(out.Grad.T())
+	}
+	return out
+}
+
+// AddRowBroadcast returns a + 1·b where a is R×C and b is 1×C: b is added to
+// every row of a. This is the bias pattern for dense layers over lists.
+func (t *Tape) AddRowBroadcast(a, b *Node) *Node {
+	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
+		panic(fmt.Sprintf("nn: AddRowBroadcast wants 1x%d bias, got %dx%d", a.Value.Cols, b.Value.Rows, b.Value.Cols))
+	}
+	v := a.Value.Clone()
+	for i := 0; i < v.Rows; i++ {
+		row := v.Row(i)
+		for j, bv := range b.Value.Data {
+			row[j] += bv
+		}
+	}
+	out := t.newNode(v, nil)
+	out.back = func() {
+		a.Grad.AddInPlace(out.Grad)
+		for i := 0; i < out.Grad.Rows; i++ {
+			row := out.Grad.Row(i)
+			for j, g := range row {
+				b.Grad.Data[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates nodes horizontally: [a | b | …].
+func (t *Tape) ConcatCols(ns ...*Node) *Node {
+	vals := make([]*mat.Matrix, len(ns))
+	for i, n := range ns {
+		vals[i] = n.Value
+	}
+	out := t.newNode(mat.ConcatCols(vals...), nil)
+	out.back = func() {
+		off := 0
+		for _, n := range ns {
+			for i := 0; i < n.Value.Rows; i++ {
+				grow := out.Grad.Row(i)[off : off+n.Value.Cols]
+				nrow := n.Grad.Row(i)
+				for j, g := range grow {
+					nrow[j] += g
+				}
+			}
+			off += n.Value.Cols
+		}
+	}
+	return out
+}
+
+// ConcatRows concatenates nodes vertically.
+func (t *Tape) ConcatRows(ns ...*Node) *Node {
+	vals := make([]*mat.Matrix, len(ns))
+	for i, n := range ns {
+		vals[i] = n.Value
+	}
+	out := t.newNode(mat.ConcatRows(vals...), nil)
+	out.back = func() {
+		off := 0
+		for _, n := range ns {
+			sz := len(n.Value.Data)
+			for j := 0; j < sz; j++ {
+				n.Grad.Data[j] += out.Grad.Data[off+j]
+			}
+			off += sz
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) of a as a new node.
+func (t *Tape) SliceCols(a *Node, from, to int) *Node {
+	out := t.newNode(a.Value.SliceCols(from, to), nil)
+	out.back = func() {
+		for i := 0; i < out.Grad.Rows; i++ {
+			grow := out.Grad.Row(i)
+			arow := a.Grad.Row(i)
+			for j, g := range grow {
+				arow[from+j] += g
+			}
+		}
+	}
+	return out
+}
+
+// SliceRows returns rows [from, to) of a as a new node.
+func (t *Tape) SliceRows(a *Node, from, to int) *Node {
+	out := t.newNode(a.Value.SliceRows(from, to), nil)
+	out.back = func() {
+		cols := a.Value.Cols
+		for i := 0; i < out.Grad.Rows; i++ {
+			grow := out.Grad.Row(i)
+			arow := a.Grad.Data[(from+i)*cols : (from+i+1)*cols]
+			for j, g := range grow {
+				arow[j] += g
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	v := a.Value.Apply(mat.Sigmoid)
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i, y := range v.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := a.Value.Apply(math.Tanh)
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i, y := range v.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	v := a.Value.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				a.Grad.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Softplus applies log(1+e^x) element-wise, computed stably. Its derivative
+// is the sigmoid. Used to keep standard deviations positive in the
+// probabilistic re-ranking head.
+func (t *Tape) Softplus(a *Node) *Node {
+	v := a.Value.Apply(softplus)
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i, x := range a.Value.Data {
+			a.Grad.Data[i] += out.Grad.Data[i] * mat.Sigmoid(x)
+		}
+	}
+	return out
+}
+
+func softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// SoftmaxRows applies a stable softmax to each row of a.
+func (t *Tape) SoftmaxRows(a *Node) *Node {
+	v := a.Value.SoftmaxRows()
+	out := t.newNode(v, nil)
+	out.back = func() {
+		// For each row: dx_j = y_j (dy_j − Σ_k dy_k y_k).
+		for i := 0; i < v.Rows; i++ {
+			yrow := v.Row(i)
+			gyrow := out.Grad.Row(i)
+			garow := a.Grad.Row(i)
+			var dot float64
+			for k, y := range yrow {
+				dot += gyrow[k] * y
+			}
+			for j, y := range yrow {
+				garow[j] += y * (gyrow[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// Sum reduces a to a 1×1 node containing the sum of its entries.
+func (t *Tape) Sum(a *Node) *Node {
+	out := t.newNode(mat.FromSlice(1, 1, []float64{a.Value.Sum()}), nil)
+	out.back = func() {
+		g := out.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	}
+	return out
+}
+
+// Mean reduces a to a 1×1 node containing the mean of its entries.
+func (t *Tape) Mean(a *Node) *Node {
+	n := float64(len(a.Value.Data))
+	out := t.newNode(mat.FromSlice(1, 1, []float64{a.Value.Mean()}), nil)
+	out.back = func() {
+		g := out.Grad.Data[0] / n
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	}
+	return out
+}
+
+// MeanRows reduces a R×C node to 1×C by averaging over rows.
+func (t *Tape) MeanRows(a *Node) *Node {
+	r := a.Value.Rows
+	v := mat.New(1, a.Value.Cols)
+	for i := 0; i < r; i++ {
+		row := a.Value.Row(i)
+		for j, x := range row {
+			v.Data[j] += x
+		}
+	}
+	inv := 1.0
+	if r > 0 {
+		inv = 1 / float64(r)
+	}
+	v.ScaleInPlace(inv)
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i := 0; i < r; i++ {
+			arow := a.Grad.Row(i)
+			for j, g := range out.Grad.Data {
+				arow[j] += g * inv
+			}
+		}
+	}
+	return out
+}
+
+// SigmoidBCE computes the mean binary cross-entropy between sigmoid(logits)
+// and targets, where logits is L×1 and targets has length L. The fused form
+// is numerically stable: loss_i = softplus(z_i) − y_i·z_i, d/dz = σ(z) − y.
+func (t *Tape) SigmoidBCE(logits *Node, targets []float64) *Node {
+	l := logits.Value
+	if l.Cols != 1 || l.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: SigmoidBCE wants %dx1 logits for %d targets, got %dx%d", len(targets), len(targets), l.Rows, l.Cols))
+	}
+	var loss float64
+	for i, y := range targets {
+		z := l.Data[i]
+		loss += softplus(z) - y*z
+	}
+	n := float64(len(targets))
+	if n == 0 {
+		n = 1
+	}
+	out := t.newNode(mat.FromSlice(1, 1, []float64{loss / n}), nil)
+	out.back = func() {
+		g := out.Grad.Data[0] / n
+		for i, y := range targets {
+			logits.Grad.Data[i] += g * (mat.Sigmoid(l.Data[i]) - y)
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes −log softmax(logits)[target] for a 1×C
+// logits row, the pointer-network step loss. The fused form is stable
+// (log-sum-exp) and its gradient is softmax − onehot(target).
+func (t *Tape) SoftmaxCrossEntropy(logits *Node, target int) *Node {
+	row := logits.Value
+	if row.Rows != 1 || target < 0 || target >= row.Cols {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy wants 1×C logits and target<C, got %dx%d target %d", row.Rows, row.Cols, target))
+	}
+	mx := math.Inf(-1)
+	for _, v := range row.Data {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for _, v := range row.Data {
+		sum += math.Exp(v - mx)
+	}
+	lse := mx + math.Log(sum)
+	out := t.newNode(mat.FromSlice(1, 1, []float64{lse - row.Data[target]}), nil)
+	out.back = func() {
+		g := out.Grad.Data[0]
+		for j, v := range row.Data {
+			p := math.Exp(v - lse)
+			if j == target {
+				p -= 1
+			}
+			logits.Grad.Data[j] += g * p
+		}
+	}
+	return out
+}
+
+// LayerNormRows normalizes each row of a to zero mean / unit variance and
+// applies a learned per-column gain g and bias b (both 1×C nodes).
+func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
+	const eps = 1e-5
+	rows, cols := a.Value.Rows, a.Value.Cols
+	v := mat.New(rows, cols)
+	norm := mat.New(rows, cols) // x̂ before gain/bias, kept for backward
+	invstd := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		row := a.Value.Row(i)
+		var mu float64
+		for _, x := range row {
+			mu += x
+		}
+		mu /= float64(cols)
+		var va float64
+		for _, x := range row {
+			d := x - mu
+			va += d * d
+		}
+		va /= float64(cols)
+		is := 1 / math.Sqrt(va+eps)
+		invstd[i] = is
+		nrow := norm.Row(i)
+		vrow := v.Row(i)
+		for j, x := range row {
+			nh := (x - mu) * is
+			nrow[j] = nh
+			vrow[j] = nh*gain.Value.Data[j] + bias.Value.Data[j]
+		}
+	}
+	out := t.newNode(v, nil)
+	out.back = func() {
+		for i := 0; i < rows; i++ {
+			gout := out.Grad.Row(i)
+			nrow := norm.Row(i)
+			// Gradients through gain and bias.
+			for j, g := range gout {
+				gain.Grad.Data[j] += g * nrow[j]
+				bias.Grad.Data[j] += g
+			}
+			// Gradient through normalization:
+			// dx = invstd/C · (C·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂)) with dx̂ = dout·gain.
+			c := float64(cols)
+			var sum, sumxh float64
+			dxh := make([]float64, cols)
+			for j, g := range gout {
+				d := g * gain.Value.Data[j]
+				dxh[j] = d
+				sum += d
+				sumxh += d * nrow[j]
+			}
+			arow := a.Grad.Row(i)
+			for j := range dxh {
+				arow[j] += invstd[i] / c * (c*dxh[j] - sum - nrow[j]*sumxh)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients and then
+// clears the gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// parameters and zeroes them afterwards.
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*mat.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*mat.Matrix)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum > 0 {
+			v := o.velocity[p]
+			if v == nil {
+				v = mat.New(p.Value.Rows, p.Value.Cols)
+				o.velocity[p] = v
+			}
+			v.ScaleInPlace(o.Momentum).AddScaledInPlace(1, p.Grad)
+			p.Value.AddScaledInPlace(-o.LR, v)
+		} else {
+			p.Value.AddScaledInPlace(-o.LR, p.Grad)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements Kingma & Ba (2014), the optimizer the paper trains every
+// model with (Section IV-C).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param]*mat.Matrix
+	v map[*Param]*mat.Matrix
+}
+
+// NewAdam returns Adam with the paper-standard hyper-parameters
+// β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*mat.Matrix),
+		v: make(map[*Param]*mat.Matrix),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = mat.New(p.Value.Rows, p.Value.Cols)
+			o.m[p] = m
+		}
+		v := o.v[p]
+		if v == nil {
+			v = mat.New(p.Value.Rows, p.Value.Cols)
+			o.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			if o.WeightDecay > 0 {
+				g += o.WeightDecay * p.Value.Data[i]
+			}
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Param is a trainable tensor with a persistent gradient buffer. Backward
+// passes accumulate into Grad; optimizers consume and reset it.
+type Param struct {
+	Name  string
+	Value *mat.Matrix
+	Grad  *mat.Matrix
+}
+
+// NewParam wraps v as a named parameter with a zeroed gradient.
+func NewParam(name string, v *mat.Matrix) *Param {
+	return &Param{Name: name, Value: v, Grad: mat.New(v.Rows, v.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// ParamSet is a named collection of parameters. Layers register their
+// parameters into a set so optimizers and serialization can address the
+// whole model uniformly.
+type ParamSet struct {
+	byName map[string]*Param
+	order  []string
+}
+
+// NewParamSet returns an empty set.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// Add registers p. It panics on duplicate names, which almost always
+// indicates two layers sharing a prefix by mistake.
+func (s *ParamSet) Add(p *Param) *Param {
+	if _, dup := s.byName[p.Name]; dup {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", p.Name))
+	}
+	s.byName[p.Name] = p
+	s.order = append(s.order, p.Name)
+	return p
+}
+
+// New creates, registers and returns a parameter initialized to v.
+func (s *ParamSet) New(name string, v *mat.Matrix) *Param {
+	return s.Add(NewParam(name, v))
+}
+
+// Get returns the parameter with the given name, or nil.
+func (s *ParamSet) Get(name string) *Param { return s.byName[name] }
+
+// All returns the parameters in registration order.
+func (s *ParamSet) All() []*Param {
+	out := make([]*Param, len(s.order))
+	for i, n := range s.order {
+		out[i] = s.byName[n]
+	}
+	return out
+}
+
+// Names returns the sorted parameter names.
+func (s *ParamSet) Names() []string {
+	out := append([]string(nil), s.order...)
+	sort.Strings(out)
+	return out
+}
+
+// ZeroGrad clears every parameter's gradient.
+func (s *ParamSet) ZeroGrad() {
+	for _, p := range s.byName {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters in the set.
+func (s *ParamSet) NumParams() int {
+	n := 0
+	for _, p := range s.byName {
+		n += len(p.Value.Data)
+	}
+	return n
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, the usual stabilizer for recurrent nets. It returns the
+// pre-clip norm.
+func (s *ParamSet) ClipGradNorm(maxNorm float64) float64 {
+	var total float64
+	for _, p := range s.byName {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range s.byName {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

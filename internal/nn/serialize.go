@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk representation of a ParamSet.
+type snapshot struct {
+	Params []paramRecord
+}
+
+type paramRecord struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes every parameter of s (values only, not optimizer state) to w
+// using encoding/gob.
+func (s *ParamSet) Save(w io.Writer) error {
+	snap := snapshot{}
+	for _, p := range s.All() {
+		snap.Params = append(snap.Params, paramRecord{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load restores parameter values previously written by Save. Every stored
+// parameter must exist in s with matching shape; extra parameters in s are
+// left untouched (allowing forward-compatible model growth).
+func (s *ParamSet) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	for _, rec := range snap.Params {
+		p := s.Get(rec.Name)
+		if p == nil {
+			return fmt.Errorf("nn: snapshot has unknown parameter %q", rec.Name)
+		}
+		if p.Value.Rows != rec.Rows || p.Value.Cols != rec.Cols {
+			return fmt.Errorf("nn: parameter %q shape mismatch: model %dx%d, snapshot %dx%d",
+				rec.Name, p.Value.Rows, p.Value.Cols, rec.Rows, rec.Cols)
+		}
+		copy(p.Value.Data, rec.Data)
+	}
+	return nil
+}
+
+// CopyValuesFrom copies values from src into s for every parameter name both
+// sets share with matching shapes. It returns the number of parameters
+// copied. Used to transfer trained weights between model variants.
+func (s *ParamSet) CopyValuesFrom(src *ParamSet) int {
+	n := 0
+	for _, p := range s.All() {
+		q := src.Get(p.Name)
+		if q != nil && q.Value.SameShape(p.Value) {
+			copy(p.Value.Data, q.Value.Data)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "Regret vs n",
+		XLabel: "rounds",
+		YLabel: "cumulative regret",
+		Series: []Series{
+			{Name: "UCB", X: []float64{0, 1, 2}, Y: []float64{0, 1, 1.5}},
+			{Name: "greedy", X: []float64{0, 1, 2}, Y: []float64{0, 2, 3}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "Regret vs n", "UCB", "greedy", "rounds", "cumulative regret"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("expected 2 polylines, got %d", got)
+	}
+}
+
+func TestWriteSVGDeterministic(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}}}}
+	var a, b strings.Builder
+	if err := c.WriteSVG(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("SVG output not deterministic")
+	}
+}
+
+func TestWriteSVGDegenerate(t *testing.T) {
+	// Empty chart and constant series must not divide by zero.
+	for _, c := range []*Chart{
+		{},
+		{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}}},
+	} {
+		var sb strings.Builder
+		if err := c.WriteSVG(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+			t.Fatal("degenerate chart produced NaN/Inf coordinates")
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: "a < b & c > d"}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c &gt; d") {
+		t.Fatal("title not escaped")
+	}
+}

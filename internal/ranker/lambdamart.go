@@ -1,0 +1,224 @@
+package ranker
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// LambdaMART is gradient-boosted regression trees trained with LambdaRank
+// gradients (Burges' λ-gradients weighted by |ΔNDCG|), the listwise initial
+// ranker of the paper's RQ2 comparison. Trees are grown by exact
+// variance-style split search on the λ statistics and leaves take Newton
+// steps Σλ/(Σw+reg).
+type LambdaMART struct {
+	Trees     int
+	Depth     int
+	LR        float64
+	MinLeaf   int
+	Leaves    float64 // L2 regularization on leaf values
+	Sigma     float64 // logistic steepness in the pairwise gradient
+	ensemble  []*regTree
+	baseScore float64
+}
+
+// NewLambdaMART returns a LambdaMART with small-scale defaults.
+func NewLambdaMART() *LambdaMART {
+	return &LambdaMART{Trees: 30, Depth: 3, LR: 0.1, MinLeaf: 10, Leaves: 1.0, Sigma: 1.0}
+}
+
+// Name implements Ranker.
+func (m *LambdaMART) Name() string { return "LambdaMART" }
+
+// Fit trains the ensemble on the dataset's RankerTrain split grouped by user.
+func (m *LambdaMART) Fit(d *dataset.Dataset) error {
+	groups := groupByUser(d.RankerTrain)
+	// Flatten documents, remembering group boundaries.
+	var feats [][]float64
+	var labels []float64
+	var groupOf []int
+	for gi, g := range groups {
+		for _, it := range g {
+			feats = append(feats, pairFeatures(d, it.User, it.Item))
+			labels = append(labels, it.Label)
+			groupOf = append(groupOf, gi)
+		}
+	}
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	scores := make([]float64, n)
+	lambdas := make([]float64, n)
+	hessians := make([]float64, n)
+
+	// Per-group document index lists.
+	groupDocs := make([][]int, len(groups))
+	for i, g := range groupOf {
+		groupDocs[g] = append(groupDocs[g], i)
+	}
+
+	for round := 0; round < m.Trees; round++ {
+		for i := range lambdas {
+			lambdas[i], hessians[i] = 0, 0
+		}
+		for _, docs := range groupDocs {
+			m.accumulateLambdas(docs, labels, scores, lambdas, hessians)
+		}
+		tree := growTree(feats, lambdas, hessians, m.Depth, m.MinLeaf, m.Leaves)
+		m.ensemble = append(m.ensemble, tree)
+		for i := range scores {
+			scores[i] += m.LR * tree.predict(feats[i])
+		}
+	}
+	return nil
+}
+
+// accumulateLambdas adds the LambdaRank gradients for one query group.
+func (m *LambdaMART) accumulateLambdas(docs []int, labels, scores, lambdas, hessians []float64) {
+	// Ideal DCG for ΔNDCG normalization.
+	ls := make([]float64, len(docs))
+	for i, d := range docs {
+		ls[i] = labels[d]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ls)))
+	var idcg float64
+	for i, l := range ls {
+		idcg += (math.Pow(2, l) - 1) / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return
+	}
+	// Current ranking positions by score.
+	order := make([]int, len(docs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[docs[order[a]]] > scores[docs[order[b]]] })
+	rank := make([]int, len(docs)) // rank[i] = 0-based position of docs[i]
+	for pos, oi := range order {
+		rank[oi] = pos
+	}
+	for i := 0; i < len(docs); i++ {
+		for j := 0; j < len(docs); j++ {
+			di, dj := docs[i], docs[j]
+			if labels[di] <= labels[dj] {
+				continue
+			}
+			sDiff := scores[di] - scores[dj]
+			rho := 1 / (1 + math.Exp(m.Sigma*sDiff))
+			// |ΔNDCG| of swapping positions of i and j.
+			gi := math.Pow(2, labels[di]) - 1
+			gj := math.Pow(2, labels[dj]) - 1
+			inv := func(pos int) float64 { return 1 / math.Log2(float64(pos)+2) }
+			delta := math.Abs((gi - gj) * (inv(rank[i]) - inv(rank[j])) / idcg)
+			l := m.Sigma * rho * delta
+			h := m.Sigma * m.Sigma * rho * (1 - rho) * delta
+			lambdas[di] += l
+			lambdas[dj] -= l
+			hessians[di] += h
+			hessians[dj] += h
+		}
+	}
+}
+
+// Score implements Ranker.
+func (m *LambdaMART) Score(d *dataset.Dataset, user, item int) float64 {
+	f := pairFeatures(d, user, item)
+	s := m.baseScore
+	for _, t := range m.ensemble {
+		s += m.LR * t.predict(f)
+	}
+	return s
+}
+
+// regTree is a binary regression tree over dense features.
+type regTree struct {
+	feature     int
+	threshold   float64
+	left, right *regTree
+	value       float64
+	leaf        bool
+}
+
+func (t *regTree) predict(f []float64) float64 {
+	for !t.leaf {
+		if f[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// growTree fits a depth-bounded tree to the λ targets with Newton leaves.
+func growTree(feats [][]float64, grad, hess []float64, depth, minLeaf int, reg float64) *regTree {
+	idx := make([]int, len(feats))
+	for i := range idx {
+		idx[i] = i
+	}
+	return growNode(feats, grad, hess, idx, depth, minLeaf, reg)
+}
+
+func growNode(feats [][]float64, grad, hess []float64, idx []int, depth, minLeaf int, reg float64) *regTree {
+	leaf := func() *regTree {
+		var g, h float64
+		for _, i := range idx {
+			g += grad[i]
+			h += hess[i]
+		}
+		return &regTree{leaf: true, value: g / (h + reg)}
+	}
+	if depth <= 0 || len(idx) < 2*minLeaf {
+		return leaf()
+	}
+	var sumG, sumH float64
+	for _, i := range idx {
+		sumG += grad[i]
+		sumH += hess[i]
+	}
+	parentGain := sumG * sumG / (sumH + reg)
+	bestGain := 0.0
+	bestFeat, bestPos := -1, 0
+	dims := len(feats[idx[0]])
+	sorted := make([]int, len(idx))
+	var bestSorted []int
+	for f := 0; f < dims; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return feats[sorted[a]][f] < feats[sorted[b]][f] })
+		var gl, hl float64
+		for p := 0; p < len(sorted)-1; p++ {
+			i := sorted[p]
+			gl += grad[i]
+			hl += hess[i]
+			if p+1 < minLeaf || len(sorted)-p-1 < minLeaf {
+				continue
+			}
+			if feats[sorted[p]][f] == feats[sorted[p+1]][f] {
+				continue // cannot split between equal values
+			}
+			gr, hr := sumG-gl, sumH-hl
+			gain := gl*gl/(hl+reg) + gr*gr/(hr+reg) - parentGain
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestPos = p
+				bestSorted = append(bestSorted[:0], sorted...)
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain < 1e-10 {
+		return leaf()
+	}
+	thr := (feats[bestSorted[bestPos]][bestFeat] + feats[bestSorted[bestPos+1]][bestFeat]) / 2
+	leftIdx := append([]int(nil), bestSorted[:bestPos+1]...)
+	rightIdx := append([]int(nil), bestSorted[bestPos+1:]...)
+	return &regTree{
+		feature:   bestFeat,
+		threshold: thr,
+		left:      growNode(feats, grad, hess, leftIdx, depth-1, minLeaf, reg),
+		right:     growNode(feats, grad, hess, rightIdx, depth-1, minLeaf, reg),
+	}
+}

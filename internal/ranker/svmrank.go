@@ -1,0 +1,87 @@
+package ranker
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+// SVMRank is the pairwise linear ranking SVM (Joachims, 2006): it learns a
+// weight vector w minimizing hinge loss over preference pairs
+// max(0, 1 − w·(f⁺ − f⁻)) with L2 regularization, optimized here by
+// sub-gradient descent (Pegasos-style).
+type SVMRank struct {
+	Epochs int
+	LR     float64
+	C      float64 // inverse regularization strength
+	Seed   int64
+
+	w []float64
+}
+
+// NewSVMRank returns an SVMRank with small-scale defaults.
+func NewSVMRank(seed int64) *SVMRank {
+	return &SVMRank{Epochs: 8, LR: 0.05, C: 1.0, Seed: seed}
+}
+
+// Name implements Ranker.
+func (m *SVMRank) Name() string { return "SVMRank" }
+
+// Fit trains on preference pairs formed within each user's interactions.
+func (m *SVMRank) Fit(d *dataset.Dataset) error {
+	groups := groupByUser(d.RankerTrain)
+	dim := len(pairFeatures(d, 0, 0))
+	m.w = make([]float64, dim)
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	type pair struct{ u, pos, neg int }
+	var pairs []pair
+	for _, g := range groups {
+		var ps, ns []int
+		for _, it := range g {
+			if it.Label > 0.5 {
+				ps = append(ps, it.Item)
+			} else {
+				ns = append(ns, it.Item)
+			}
+		}
+		for _, p := range ps {
+			for _, n := range ns {
+				pairs = append(pairs, pair{g[0].User, p, n})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	lambda := 1 / (m.C * float64(len(pairs)))
+	for e := 0; e < m.Epochs; e++ {
+		lr := m.LR / (1 + 0.5*float64(e))
+		for _, i := range shuffled(len(pairs), rng) {
+			pr := pairs[i]
+			fp := pairFeatures(d, pr.u, pr.pos)
+			fn := pairFeatures(d, pr.u, pr.neg)
+			var margin float64
+			for j := range fp {
+				margin += m.w[j] * (fp[j] - fn[j])
+			}
+			for j := range m.w {
+				g := lambda * m.w[j]
+				if margin < 1 {
+					g -= fp[j] - fn[j]
+				}
+				m.w[j] -= lr * g
+			}
+		}
+	}
+	return nil
+}
+
+// Score implements Ranker.
+func (m *SVMRank) Score(d *dataset.Dataset, user, item int) float64 {
+	if m.w == nil {
+		panic("ranker: SVMRank.Score before Fit")
+	}
+	return mat.Dot(m.w, pairFeatures(d, user, item))
+}

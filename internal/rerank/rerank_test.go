@@ -1,0 +1,208 @@
+package rerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+func testInstances(t *testing.T, n int, withLabels bool) []*Instance {
+	t.Helper()
+	cfg := dataset.TaobaoLike(11)
+	cfg.NumUsers = 20
+	cfg.NumItems = 60
+	cfg.Categories = 15
+	cfg.RerankRequests = n
+	cfg.TestRequests = 1
+	cfg.ListLen = 6
+	cfg.PoolSize = 10
+	d := dataset.MustGenerate(cfg)
+	rng := rand.New(rand.NewSource(5))
+	var out []*Instance
+	for i := 0; i < n; i++ {
+		p := d.RerankPools[i%len(d.RerankPools)]
+		items := append([]int(nil), p.Candidates[:cfg.ListLen]...)
+		req := dataset.Request{User: p.User, Items: items, InitScores: descending(len(items))}
+		if withLabels {
+			req.Clicks = make([]bool, len(items))
+			for k := range req.Clicks {
+				req.Clicks[k] = rng.Float64() < d.Relevance(p.User, items[k])
+			}
+		}
+		out = append(out, NewInstance(d, req, rng))
+	}
+	return out
+}
+
+func descending(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(n - i)
+	}
+	return s
+}
+
+func TestOrderByScores(t *testing.T) {
+	items := []int{10, 20, 30}
+	got := OrderByScores(items, []float64{0.1, 0.9, 0.5})
+	want := []int{20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OrderByScores = %v", got)
+		}
+	}
+	// Stable on ties: original order preserved.
+	tie := OrderByScores(items, []float64{1, 1, 1})
+	for i, v := range items {
+		if tie[i] != v {
+			t.Fatal("tie order not stable")
+		}
+	}
+}
+
+func TestIdentityReranker(t *testing.T) {
+	inst := testInstances(t, 1, false)[0]
+	id := Identity{}
+	got := Apply(id, inst)
+	for i, v := range inst.Items {
+		if got[i] != v {
+			t.Fatal("Identity changed the order")
+		}
+	}
+	// Scores must be a copy, not an alias.
+	s := id.Scores(inst)
+	s[0] = -999
+	if inst.InitScores[0] == -999 {
+		t.Fatal("Identity.Scores aliases InitScores")
+	}
+}
+
+func TestInstanceGeometry(t *testing.T) {
+	inst := testInstances(t, 1, true)[0]
+	lf := inst.ListFeatures()
+	if lf.Rows != inst.L() || lf.Cols != inst.FeatureDim() {
+		t.Fatalf("ListFeatures %dx%d", lf.Rows, lf.Cols)
+	}
+	// Last column is the initial score.
+	for i := 0; i < inst.L(); i++ {
+		if lf.At(i, lf.Cols-1) != inst.InitScores[i] {
+			t.Fatal("init score column misplaced")
+		}
+	}
+	// Topic-coverage block matches.
+	qu := len(inst.UserFeat)
+	qv := len(inst.ItemFeat(inst.Items[0]))
+	for j := 0; j < inst.M; j++ {
+		if lf.At(0, qu+qv+j) != inst.Cover[0][j] {
+			t.Fatal("coverage block misplaced")
+		}
+	}
+}
+
+func TestTopicSeqFeatures(t *testing.T) {
+	inst := testInstances(t, 1, false)[0]
+	for j := 0; j < inst.M; j++ {
+		seq := inst.TopicSeqFeatures(j, 3)
+		if seq.Rows > 3 {
+			t.Fatalf("topic %d sequence longer than D", j)
+		}
+		if seq.Rows > 0 {
+			qu := len(inst.UserFeat)
+			for k := 0; k < qu; k++ {
+				if seq.At(0, k) != inst.UserFeat[k] {
+					t.Fatal("user features not prefixed on sequence rows")
+				}
+			}
+		}
+	}
+}
+
+func TestMarginalDiversityConsistency(t *testing.T) {
+	inst := testInstances(t, 1, false)[0]
+	md := inst.MarginalDiversity()
+	if len(md) != inst.L() {
+		t.Fatalf("marginal diversity length %d", len(md))
+	}
+	for _, row := range md {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("marginal diversity %v out of range", v)
+			}
+		}
+	}
+}
+
+// linearModel is a minimal ListwiseModel for trainer tests: one dense layer
+// over the instance features.
+type linearModel struct {
+	ps *nn.ParamSet
+	d  *nn.Dense
+}
+
+func newLinearModel(featDim int, seed int64) *linearModel {
+	ps := nn.NewParamSet()
+	return &linearModel{
+		ps: ps,
+		d:  nn.NewDense(ps, "lin", featDim, 1, nn.Linear, rand.New(rand.NewSource(seed))),
+	}
+}
+
+func (m *linearModel) Params() *nn.ParamSet { return m.ps }
+func (m *linearModel) Logits(t *nn.Tape, inst *Instance, _ bool) *nn.Node {
+	return m.d.Forward(t, t.Constant(inst.ListFeatures()))
+}
+
+func TestTrainListwiseReducesLoss(t *testing.T) {
+	train := testInstances(t, 30, true)
+	m := newLinearModel(train[0].FeatureDim(), 3)
+	var first, last float64
+	cfg := TrainConfig{
+		Epochs: 10, LR: 0.02, BatchSize: 4, ClipNorm: 5, Seed: 3,
+		OnEpoch: func(e int, loss float64) {
+			if e == 0 {
+				first = loss
+			}
+			last = loss
+		},
+	}
+	if _, err := TrainListwise(m, train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+}
+
+func TestTrainListwiseRejectsUnlabeled(t *testing.T) {
+	train := testInstances(t, 2, false)
+	m := newLinearModel(train[0].FeatureDim(), 4)
+	if _, err := TrainListwise(m, train, DefaultTrainConfig(1)); err == nil {
+		t.Fatal("training on unlabeled instances should error")
+	}
+}
+
+func TestScoreWithSigmoidRange(t *testing.T) {
+	inst := testInstances(t, 1, false)[0]
+	m := newLinearModel(inst.FeatureDim(), 5)
+	scores := ScoreWithSigmoid(m, inst)
+	if len(scores) != inst.L() {
+		t.Fatalf("scores length %d", len(scores))
+	}
+	for _, s := range scores {
+		if s <= 0 || s >= 1 || math.IsNaN(s) {
+			t.Fatalf("sigmoid score %v out of (0,1)", s)
+		}
+	}
+}
+
+func TestHistoryPreferenceIsDistribution(t *testing.T) {
+	inst := testInstances(t, 1, false)[0]
+	p := inst.HistoryPreference()
+	if math.Abs(mat.SumVec(p)-1) > 1e-9 {
+		t.Fatalf("history preference sums to %v", mat.SumVec(p))
+	}
+}

@@ -1,0 +1,182 @@
+package rerank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// ListwiseModel is the contract between a neural re-ranker and the shared
+// training loop: build the score logits for one instance on a fresh tape.
+type ListwiseModel interface {
+	// Logits returns an L×1 node of pre-sigmoid re-ranking scores for the
+	// instance. train distinguishes stochastic behavior (e.g. RAPID-pro
+	// samples ξ during training but uses the UCB at inference).
+	Logits(t *nn.Tape, inst *Instance, train bool) *nn.Node
+	// Params exposes the trainable parameters.
+	Params() *nn.ParamSet
+}
+
+// TrainConfig bundles the optimization hyper-parameters shared by all
+// neural re-rankers (paper Section IV-C: Adam, BCE loss of Eq. 11).
+type TrainConfig struct {
+	Epochs    int
+	LR        float64
+	BatchSize int     // gradient-accumulation batch; ≥1
+	ClipNorm  float64 // global-norm gradient clip; 0 disables
+	Seed      int64
+	// OnEpoch, when non-nil, receives (epoch, mean loss) after each epoch —
+	// used by the efficiency study and for convergence tests.
+	OnEpoch func(epoch int, loss float64)
+	// ValidFrac, when positive, holds out that fraction of the training
+	// instances (the tail, deterministically) as a validation split and
+	// enables early stopping: training halts once the validation loss has
+	// not improved for Patience consecutive epochs, and the best-epoch
+	// parameters are restored.
+	ValidFrac float64
+	// Patience is the early-stopping patience in epochs (default 2 when
+	// ValidFrac > 0).
+	Patience int
+}
+
+// DefaultTrainConfig returns the configuration used across the experiment
+// harness unless a table overrides it.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{Epochs: 8, LR: 0.005, BatchSize: 8, ClipNorm: 5, Seed: seed}
+}
+
+// TrainListwise optimizes the model's BCE loss (Eq. 11) over the training
+// instances with Adam, accumulating gradients over BatchSize instances per
+// step. It returns the final epoch's mean loss.
+func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64, error) {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	for _, inst := range train {
+		if inst.Labels == nil {
+			return 0, fmt.Errorf("rerank: training instance without labels (user %d)", inst.User)
+		}
+	}
+	// Optional validation split for early stopping.
+	var valid []*Instance
+	if cfg.ValidFrac > 0 && len(train) >= 4 {
+		n := int(float64(len(train)) * cfg.ValidFrac)
+		if n < 1 {
+			n = 1
+		}
+		valid = train[len(train)-n:]
+		train = train[:len(train)-n]
+	}
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = 2
+	}
+
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps := m.Params()
+	var lastLoss float64
+	bestValid := math.Inf(1)
+	var bestSnapshot [][]float64
+	bad := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := rng.Perm(len(train))
+		var epochLoss float64
+		pending := 0
+		for _, pi := range perm {
+			inst := train[pi]
+			t := nn.NewTape()
+			logits := m.Logits(t, inst, true)
+			loss := t.SigmoidBCE(logits, inst.Labels)
+			t.Backward(loss)
+			epochLoss += loss.Value.Data[0]
+			pending++
+			if pending == cfg.BatchSize {
+				step(ps, opt, cfg, pending)
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			step(ps, opt, cfg, pending)
+		}
+		lastLoss = epochLoss / float64(len(train))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(e, lastLoss)
+		}
+		if valid != nil {
+			vl := ValidationLoss(m, valid)
+			if vl < bestValid-1e-6 {
+				bestValid = vl
+				bestSnapshot = snapshotValues(ps)
+				bad = 0
+			} else {
+				bad++
+				if bad >= patience {
+					break
+				}
+			}
+		}
+	}
+	if bestSnapshot != nil {
+		restoreValues(ps, bestSnapshot)
+	}
+	return lastLoss, nil
+}
+
+// ValidationLoss computes the deterministic (inference-mode) mean BCE over
+// labeled instances without touching gradients.
+func ValidationLoss(m ListwiseModel, insts []*Instance) float64 {
+	var total float64
+	for _, inst := range insts {
+		t := nn.NewTape()
+		logits := m.Logits(t, inst, false)
+		total += t.SigmoidBCE(logits, inst.Labels).Value.Data[0]
+	}
+	if len(insts) == 0 {
+		return 0
+	}
+	return total / float64(len(insts))
+}
+
+func snapshotValues(ps *nn.ParamSet) [][]float64 {
+	params := ps.All()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Value.Data...)
+	}
+	return out
+}
+
+func restoreValues(ps *nn.ParamSet, snap [][]float64) {
+	for i, p := range ps.All() {
+		copy(p.Value.Data, snap[i])
+	}
+}
+
+func step(ps *nn.ParamSet, opt nn.Optimizer, cfg TrainConfig, batch int) {
+	if batch > 1 {
+		inv := 1 / float64(batch)
+		for _, p := range ps.All() {
+			p.Grad.ScaleInPlace(inv)
+		}
+	}
+	if cfg.ClipNorm > 0 {
+		ps.ClipGradNorm(cfg.ClipNorm)
+	}
+	opt.Step(ps.All())
+}
+
+// ScoreWithSigmoid evaluates the model on one instance (inference mode) and
+// returns per-item probabilities — the φ_R of Eq. (7).
+func ScoreWithSigmoid(m ListwiseModel, inst *Instance) []float64 {
+	t := nn.NewTape()
+	logits := m.Logits(t, inst, false)
+	out := make([]float64, logits.Value.Rows)
+	for i := range out {
+		out[i] = mat.Sigmoid(logits.Value.Data[i])
+	}
+	return out
+}

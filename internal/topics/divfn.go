@@ -1,0 +1,171 @@
+package topics
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiversityFunction generalizes the diversity machinery of Eqs. (4)–(5):
+// any monotone submodular set function over topic coverage can replace the
+// probabilistic coverage, as the paper notes ("the probabilistic coverage
+// function can be replaced by other submodular diversity functions
+// according to the objective of the recommendation scenario").
+// Implementations must return, for each listed item, the per-topic marginal
+// contribution f(R) − f(R∖{i}).
+type DiversityFunction interface {
+	Name() string
+	// Marginal returns the L×m leave-one-out marginal diversity.
+	Marginal(cover [][]float64, m int) [][]float64
+	// Total returns Σ_j f_j(G), the scalar diversity of a set.
+	Total(cover [][]float64, m int) float64
+}
+
+// ProbCoverage is the paper's default: c_j(G) = 1 − Π (1 − τ^j).
+type ProbCoverage struct{}
+
+// Name implements DiversityFunction.
+func (ProbCoverage) Name() string { return "prob-coverage" }
+
+// Marginal implements DiversityFunction.
+func (ProbCoverage) Marginal(cover [][]float64, m int) [][]float64 {
+	return MarginalDiversity(cover, m)
+}
+
+// Total implements DiversityFunction.
+func (ProbCoverage) Total(cover [][]float64, m int) float64 {
+	return CoverageTotal(cover, m)
+}
+
+// SaturatedCoverage applies a concave saturation to the accumulated topic
+// mass: f_j(G) = log(1 + β·Σ_{v∈G} τ_v^j)/log(1+β). It rewards the first
+// items of a topic most and keeps rewarding (diminishingly) afterwards —
+// a softer alternative to probabilistic coverage, in the family used by
+// Yue & Guestrin's linear submodular bandits.
+type SaturatedCoverage struct {
+	// Beta controls how quickly the reward saturates (default 4).
+	Beta float64
+}
+
+func (s SaturatedCoverage) beta() float64 {
+	if s.Beta <= 0 {
+		return 4
+	}
+	return s.Beta
+}
+
+// Name implements DiversityFunction.
+func (s SaturatedCoverage) Name() string { return "saturated-coverage" }
+
+// Total implements DiversityFunction.
+func (s SaturatedCoverage) Total(cover [][]float64, m int) float64 {
+	b := s.beta()
+	var total float64
+	for j := 0; j < m; j++ {
+		var mass float64
+		for _, tau := range cover {
+			mass += tau[j]
+		}
+		total += math.Log1p(b*mass) / math.Log1p(b)
+	}
+	return total
+}
+
+// Marginal implements DiversityFunction.
+func (s SaturatedCoverage) Marginal(cover [][]float64, m int) [][]float64 {
+	b := s.beta()
+	norm := math.Log1p(b)
+	sums := make([]float64, m)
+	for _, tau := range cover {
+		for j, t := range tau {
+			sums[j] += t
+		}
+	}
+	out := make([][]float64, len(cover))
+	for i, tau := range cover {
+		d := make([]float64, m)
+		for j, t := range tau {
+			with := math.Log1p(b*sums[j]) / norm
+			without := math.Log1p(b*(sums[j]-t)) / norm
+			d[j] = with - without
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// FacilityLocation scores each topic by its best single item:
+// f_j(G) = max_{v∈G} τ_v^j. An item's marginal contribution is how much it
+// raises the per-topic maximum over the rest of the list — the classic
+// facility-location submodular objective restricted to topic space.
+type FacilityLocation struct{}
+
+// Name implements DiversityFunction.
+func (FacilityLocation) Name() string { return "facility-location" }
+
+// Total implements DiversityFunction.
+func (FacilityLocation) Total(cover [][]float64, m int) float64 {
+	var total float64
+	for j := 0; j < m; j++ {
+		var mx float64
+		for _, tau := range cover {
+			if tau[j] > mx {
+				mx = tau[j]
+			}
+		}
+		total += mx
+	}
+	return total
+}
+
+// Marginal implements DiversityFunction.
+func (FacilityLocation) Marginal(cover [][]float64, m int) [][]float64 {
+	l := len(cover)
+	out := make([][]float64, l)
+	if l == 0 {
+		return out
+	}
+	// Track the largest and second-largest value per topic so each
+	// leave-one-out maximum is O(1).
+	best := make([]float64, m)
+	second := make([]float64, m)
+	argbest := make([]int, m)
+	for j := 0; j < m; j++ {
+		argbest[j] = -1
+	}
+	for i, tau := range cover {
+		for j, t := range tau {
+			if t > best[j] {
+				second[j] = best[j]
+				best[j] = t
+				argbest[j] = i
+			} else if t > second[j] {
+				second[j] = t
+			}
+		}
+	}
+	for i := range cover {
+		d := make([]float64, m)
+		for j := 0; j < m; j++ {
+			if argbest[j] == i {
+				d[j] = best[j] - second[j]
+			}
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// DiversityFunctionByName resolves the registry used by configs and the
+// ablation harness.
+func DiversityFunctionByName(name string) (DiversityFunction, error) {
+	switch name {
+	case "", "prob-coverage":
+		return ProbCoverage{}, nil
+	case "saturated-coverage":
+		return SaturatedCoverage{}, nil
+	case "facility-location":
+		return FacilityLocation{}, nil
+	default:
+		return nil, fmt.Errorf("topics: unknown diversity function %q", name)
+	}
+}

@@ -1,0 +1,63 @@
+package topics
+
+import (
+	"math/rand"
+)
+
+// SplitByTopic partitions a time-ordered behavior history into m per-topic
+// sequences T_1…T_m as in Section III-C. history[i] is the index of the
+// i-th (oldest-first) interacted item; cover maps an item index to its topic
+// coverage vector.
+//
+// Membership follows the paper: "whether an item belongs to a topic can be
+// sampled according to its given topic coverage". For binary coverage this
+// is deterministic; for fractional coverage each topic j admits the item
+// with probability τ^j. Each output sequence keeps at most the last maxLen
+// items (D in the paper). rng may be nil when all coverage is binary.
+func SplitByTopic(history []int, cover func(item int) []float64, m, maxLen int, rng *rand.Rand) [][]int {
+	seqs := make([][]int, m)
+	for _, item := range history {
+		tau := cover(item)
+		for j := 0; j < m; j++ {
+			t := tau[j]
+			if t <= 0 {
+				continue
+			}
+			if t >= 1 || rng == nil || rng.Float64() < t {
+				seqs[j] = append(seqs[j], item)
+			}
+		}
+	}
+	for j := range seqs {
+		if len(seqs[j]) > maxLen {
+			seqs[j] = seqs[j][len(seqs[j])-maxLen:]
+		}
+	}
+	return seqs
+}
+
+// PreferenceFromHistory computes the empirical topic-preference distribution
+// of a history: the normalized accumulated coverage mass per topic. This is
+// the non-learned analogue of the paper's θ̂, used by the adpMMR baseline
+// and for dataset diagnostics (Figure 5).
+func PreferenceFromHistory(history []int, cover func(item int) []float64, m int) []float64 {
+	pref := make([]float64, m)
+	var total float64
+	for _, item := range history {
+		for j, t := range cover(item) {
+			pref[j] += t
+			total += t
+		}
+	}
+	if total > 0 {
+		for j := range pref {
+			pref[j] /= total
+		}
+	} else {
+		u := 1 / float64(m)
+		for j := range pref {
+			pref[j] = u
+		}
+	}
+	return pref
+}
