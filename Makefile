@@ -1,0 +1,33 @@
+# Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
+GO ?= go
+
+.PHONY: check build vet fmt test test-short race bench
+
+check: vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; any output fails the target.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full suite under the race detector (slow; the serving and training layers
+# are concurrent and must stay race-clean).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,7 +1,8 @@
-// Command rapidserve exposes a trained RAPID model as an HTTP re-ranking
-// microservice — the deployment shape the paper's efficiency analysis
-// (Section V-B) targets, where re-ranking must fit inside an industrial
-// response budget (< 50 ms).
+// Command rapidserve exposes a trained RAPID model as a hardened HTTP
+// re-ranking microservice — the deployment shape the paper's efficiency
+// analysis (Section V-B) targets, where re-ranking must fit inside an
+// industrial response budget (< 50 ms) and must never stall or crash the
+// serving chain it sits in.
 //
 // Start it with the artifacts produced by rapidtrain:
 //
@@ -10,7 +11,13 @@
 // Endpoints:
 //
 //	POST /rerank   — JSON request → re-ranked item IDs and scores
-//	GET  /healthz  — liveness and model metadata
+//	GET  /healthz  — liveness, model metadata and operational counters
+//	GET  /readyz   — readiness; 503 while draining
+//
+// Robustness envelope (see internal/serve): per-request scoring deadline
+// with graceful degradation to the initial-ranker order, bounded
+// concurrency with 429 load shedding, panic recovery, request-size caps,
+// and SIGINT/SIGTERM graceful drain.
 //
 // The request must carry everything the model consumes (features, topic
 // coverage, per-topic behavior sequences), mirroring rerank.Instance:
@@ -23,205 +30,50 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/rerank"
+	"repro/internal/serve"
 )
 
 func main() {
 	var (
 		modelPath = flag.String("model", "rapid-model.gob", "model weights from rapidtrain")
 		addr      = flag.String("addr", ":8080", "listen address")
+		budget    = flag.Duration("budget", 50*time.Millisecond, "per-request scoring deadline before degrading to the initial order")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent scoring passes (0 = 4×GOMAXPROCS)")
+		queueWait = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
-	srv, err := newServer(*modelPath)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *modelPath, *addr, serve.Config{
+		Budget:       *budget,
+		MaxInFlight:  *inflight,
+		QueueWait:    *queueWait,
+		MaxBodyBytes: *maxBody,
+		DrainTimeout: *drain,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidserve: %v\n", err)
 		os.Exit(1)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /rerank", srv.handleRerank)
-	mux.HandleFunc("GET /healthz", srv.handleHealth)
-	log.Printf("rapidserve: listening on %s (model %s)", *addr, *modelPath)
-	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-type server struct {
-	model    *core.Model
-	manifest manifest
-}
-
-type manifest struct {
-	Dataset string      `json:"dataset"`
-	Lambda  float64     `json:"lambda"`
-	Config  core.Config `json:"config"`
-}
-
-func newServer(modelPath string) (*server, error) {
-	mf, err := os.Open(manifestPath(modelPath))
+func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
+	model, man, err := serve.LoadModel(modelPath)
 	if err != nil {
-		return nil, fmt.Errorf("open manifest: %w", err)
+		return err
 	}
-	defer mf.Close()
-	var man manifest
-	if err := json.NewDecoder(mf).Decode(&man); err != nil {
-		return nil, fmt.Errorf("decode manifest: %w", err)
-	}
-	m := core.New(man.Config)
-	wf, err := os.Open(modelPath)
-	if err != nil {
-		return nil, fmt.Errorf("open model: %w", err)
-	}
-	defer wf.Close()
-	if err := m.ParamSet().Load(wf); err != nil {
-		return nil, fmt.Errorf("load weights: %w", err)
-	}
-	return &server{model: m, manifest: man}, nil
-}
-
-func manifestPath(modelPath string) string {
-	if len(modelPath) > 4 && modelPath[len(modelPath)-4:] == ".gob" {
-		return modelPath[:len(modelPath)-4] + ".json"
-	}
-	return modelPath + ".json"
-}
-
-// rerankRequest is the wire format of POST /rerank.
-type rerankRequest struct {
-	UserFeatures   []float64       `json:"user_features"`
-	Items          []rerankItem    `json:"items"`
-	TopicSequences [][]seqItemWire `json:"topic_sequences"`
-}
-
-type rerankItem struct {
-	ID        int       `json:"id"`
-	Features  []float64 `json:"features"`
-	Cover     []float64 `json:"cover"`
-	InitScore float64   `json:"init_score"`
-}
-
-type seqItemWire struct {
-	Features []float64 `json:"features"`
-}
-
-type rerankResponse struct {
-	Ranked    []int     `json:"ranked"`
-	Scores    []float64 `json:"scores"` // aligned with Ranked
-	LatencyMS float64   `json:"latency_ms"`
-}
-
-func (s *server) handleRerank(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	var req rerankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	inst, err := s.toInstance(&req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	scores := s.model.Scores(inst)
-	order := rerank.OrderByScores(inst.Items, scores)
-	ordered := make([]float64, len(order))
-	pos := make(map[int]int, len(inst.Items))
-	for i, id := range inst.Items {
-		pos[id] = i
-	}
-	for i, id := range order {
-		ordered[i] = scores[pos[id]]
-	}
-	resp := rerankResponse{
-		Ranked:    order,
-		Scores:    ordered,
-		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("rapidserve: encode response: %v", err)
-	}
-}
-
-// toInstance validates the wire request against the model geometry and
-// assembles a rerank.Instance.
-func (s *server) toInstance(req *rerankRequest) (*rerank.Instance, error) {
-	cfg := s.model.Cfg
-	if len(req.UserFeatures) != cfg.UserDim {
-		return nil, fmt.Errorf("user_features has %d dims, model wants %d", len(req.UserFeatures), cfg.UserDim)
-	}
-	if len(req.Items) == 0 {
-		return nil, fmt.Errorf("no items to re-rank")
-	}
-	if len(req.TopicSequences) != cfg.Topics {
-		return nil, fmt.Errorf("topic_sequences has %d topics, model wants %d", len(req.TopicSequences), cfg.Topics)
-	}
-	items := make([]int, len(req.Items))
-	scores := make([]float64, len(req.Items))
-	cover := make([][]float64, len(req.Items))
-	feats := make(map[int][]float64, len(req.Items))
-	for i, it := range req.Items {
-		if len(it.Features) != cfg.ItemDim {
-			return nil, fmt.Errorf("item %d has %d feature dims, model wants %d", it.ID, len(it.Features), cfg.ItemDim)
-		}
-		if len(it.Cover) != cfg.Topics {
-			return nil, fmt.Errorf("item %d has %d cover dims, model wants %d", it.ID, len(it.Cover), cfg.Topics)
-		}
-		items[i] = it.ID
-		scores[i] = it.InitScore
-		cover[i] = it.Cover
-		feats[it.ID] = it.Features
-	}
-	// Behavior-sequence items are addressed with synthetic negative IDs so
-	// they cannot collide with list items.
-	seqs := make([][]int, cfg.Topics)
-	nextID := -1
-	for j, seq := range req.TopicSequences {
-		for _, si := range seq {
-			if len(si.Features) != cfg.ItemDim {
-				return nil, fmt.Errorf("topic %d sequence item has %d feature dims, model wants %d", j, len(si.Features), cfg.ItemDim)
-			}
-			feats[nextID] = si.Features
-			seqs[j] = append(seqs[j], nextID)
-			nextID--
-		}
-		if len(seqs[j]) > rerank.TopicSeqCap {
-			seqs[j] = seqs[j][len(seqs[j])-rerank.TopicSeqCap:]
-		}
-	}
-	return &rerank.Instance{
-		UserFeat:   req.UserFeatures,
-		Items:      items,
-		InitScores: scores,
-		Cover:      cover,
-		TopicSeqs:  seqs,
-		M:          cfg.Topics,
-		ItemFeat:   func(id int) []float64 { return feats[id] },
-		CoverOf: func(id int) []float64 {
-			for i, v := range items {
-				if v == id {
-					return cover[i]
-				}
-			}
-			return make([]float64, cfg.Topics)
-		},
-	}, nil
-}
-
-func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":  "ok",
-		"dataset": s.manifest.Dataset,
-		"model":   s.model.Name(),
-		"topics":  s.model.Cfg.Topics,
-		"hidden":  s.model.Cfg.Hidden,
-	})
+	srv := serve.NewServer(model, man, cfg)
+	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v)",
+		addr, model.Name(), man.Dataset, cfg.Budget)
+	return srv.Run(ctx, addr)
 }

@@ -1,153 +1,59 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
-	"net/http"
-	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/serve"
 )
 
-func testServer(t *testing.T) *server {
-	t.Helper()
+func TestRunMissingModel(t *testing.T) {
+	err := run(context.Background(), filepath.Join(t.TempDir(), "nope.gob"), "127.0.0.1:0", serve.Config{})
+	if err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+// TestRunStartsAndDrains exercises the full startup path — manifest decode,
+// geometry validation, strict weight load — and the signal-driven drain.
+func TestRunStartsAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.gob")
 	cfg := core.Config{
-		UserDim: 3, ItemDim: 2, Topics: 2,
-		Hidden: 4, D: 3,
+		UserDim: 3, ItemDim: 2, Topics: 2, Hidden: 4, D: 3,
 		Output: core.Probabilistic, Encoder: core.BiLSTMEncoder, Agg: core.LSTMAgg,
 		UseDiversity: true, Heads: 2, Seed: 1,
 	}
-	return &server{model: core.New(cfg), manifest: manifest{Dataset: "test", Config: cfg}}
-}
-
-func validRequest() *rerankRequest {
-	return &rerankRequest{
-		UserFeatures: []float64{0.1, 0.2, 0.3},
-		Items: []rerankItem{
-			{ID: 7, Features: []float64{0.5, 0.1}, Cover: []float64{1, 0}, InitScore: 0.9},
-			{ID: 8, Features: []float64{0.2, 0.7}, Cover: []float64{0, 1}, InitScore: 0.4},
-			{ID: 9, Features: []float64{0.3, 0.3}, Cover: []float64{1, 0}, InitScore: 0.2},
-		},
-		TopicSequences: [][]seqItemWire{
-			{{Features: []float64{0.5, 0.2}}},
-			{},
-		},
+	m := core.New(cfg)
+	if err := m.ParamSet().SaveFileAtomic(modelPath); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestToInstanceValid(t *testing.T) {
-	s := testServer(t)
-	inst, err := s.toInstance(validRequest())
+	man, err := json.Marshal(serve.Manifest{Dataset: "test", Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inst.L() != 3 || inst.M != 2 {
-		t.Fatalf("instance geometry L=%d M=%d", inst.L(), inst.M)
-	}
-	// Sequence items resolve through ItemFeat with synthetic ids.
-	if len(inst.TopicSeqs[0]) != 1 {
-		t.Fatalf("topic 0 sequence %v", inst.TopicSeqs[0])
-	}
-	if f := inst.ItemFeat(inst.TopicSeqs[0][0]); f[0] != 0.5 {
-		t.Fatal("sequence item features unresolved")
-	}
-	// Scoring the assembled instance must work end to end.
-	scores := s.model.Scores(inst)
-	if len(scores) != 3 {
-		t.Fatalf("scores %v", scores)
-	}
-}
-
-func TestToInstanceValidation(t *testing.T) {
-	s := testServer(t)
-	cases := []struct {
-		name   string
-		mutate func(*rerankRequest)
-	}{
-		{"wrong user dims", func(r *rerankRequest) { r.UserFeatures = []float64{1} }},
-		{"no items", func(r *rerankRequest) { r.Items = nil }},
-		{"wrong item dims", func(r *rerankRequest) { r.Items[0].Features = []float64{1, 2, 3} }},
-		{"wrong cover dims", func(r *rerankRequest) { r.Items[1].Cover = []float64{1} }},
-		{"wrong topic count", func(r *rerankRequest) { r.TopicSequences = r.TopicSequences[:1] }},
-		{"wrong seq dims", func(r *rerankRequest) {
-			r.TopicSequences[0] = []seqItemWire{{Features: []float64{1}}}
-		}},
-	}
-	for _, tc := range cases {
-		req := validRequest()
-		tc.mutate(req)
-		if _, err := s.toInstance(req); err == nil {
-			t.Fatalf("%s: expected validation error", tc.name)
-		}
-	}
-}
-
-func TestHandleRerank(t *testing.T) {
-	s := testServer(t)
-	body, _ := json.Marshal(validRequest())
-	req := httptest.NewRequest(http.MethodPost, "/rerank", bytes.NewReader(body))
-	w := httptest.NewRecorder()
-	s.handleRerank(w, req)
-	if w.Code != http.StatusOK {
-		t.Fatalf("status %d: %s", w.Code, w.Body.String())
-	}
-	var resp rerankResponse
-	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+	if err := os.WriteFile(serve.ManifestPath(modelPath), man, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Ranked) != 3 || len(resp.Scores) != 3 {
-		t.Fatalf("response %+v", resp)
-	}
-	// Scores aligned with ranked order must be non-increasing.
-	for i := 1; i < len(resp.Scores); i++ {
-		if resp.Scores[i] > resp.Scores[i-1]+1e-12 {
-			t.Fatalf("scores not sorted: %v", resp.Scores)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, modelPath, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second})
+	}()
+	// Give the listener a moment to come up, then simulate SIGTERM.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
 		}
-	}
-	// Ranked is a permutation of the request ids.
-	seen := map[int]bool{}
-	for _, id := range resp.Ranked {
-		seen[id] = true
-	}
-	for _, id := range []int{7, 8, 9} {
-		if !seen[id] {
-			t.Fatalf("item %d missing from ranking", id)
-		}
-	}
-}
-
-func TestHandleRerankBadJSON(t *testing.T) {
-	s := testServer(t)
-	req := httptest.NewRequest(http.MethodPost, "/rerank", bytes.NewReader([]byte("{")))
-	w := httptest.NewRecorder()
-	s.handleRerank(w, req)
-	if w.Code != http.StatusBadRequest {
-		t.Fatalf("status %d for malformed JSON", w.Code)
-	}
-}
-
-func TestHandleHealth(t *testing.T) {
-	s := testServer(t)
-	w := httptest.NewRecorder()
-	s.handleHealth(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	if w.Code != http.StatusOK {
-		t.Fatalf("status %d", w.Code)
-	}
-	var m map[string]any
-	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
-		t.Fatal(err)
-	}
-	if m["status"] != "ok" || m["model"] != "RAPID-pro" {
-		t.Fatalf("health payload %v", m)
-	}
-}
-
-func TestManifestPath(t *testing.T) {
-	if got := manifestPath("model.gob"); got != "model.json" {
-		t.Fatalf("manifestPath = %s", got)
-	}
-	if got := manifestPath("weird"); got != "weird.json" {
-		t.Fatalf("manifestPath = %s", got)
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not drain after cancel")
 	}
 }

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	rapidtrain -dataset movielens -scale 0.25 -out model.gob [-lambda 0.9]
+//
+// Robustness: every weights write (periodic epoch checkpoints and the final
+// save) goes through a temp-file-plus-rename, so a crash mid-write never
+// leaves a truncated model on disk; -resume warm-starts from a previous
+// checkpoint trained with the same architecture flags; NaN/Inf training
+// batches are skipped and counted rather than corrupting optimizer state.
 package main
 
 import (
@@ -12,67 +18,110 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/rerank"
+	"repro/internal/serve"
 )
 
-// Manifest describes a saved model so a server can rebuild the architecture
-// before loading weights.
-type Manifest struct {
-	Dataset string      `json:"dataset"`
-	Lambda  float64     `json:"lambda"`
-	Config  core.Config `json:"config"`
-	Metrics map[string]float64
+type options struct {
+	dataset   string
+	scale     float64
+	seed      int64
+	lambda    float64
+	out       string
+	det       bool
+	resume    string // checkpoint to warm-start from; "" trains from scratch
+	ckptEvery int    // write a checkpoint every N epochs; 0 disables
 }
 
 func main() {
-	var (
-		ds     = flag.String("dataset", "movielens", "dataset preset: taobao, movielens, appstore")
-		scale  = flag.Float64("scale", 0.25, "dataset scale")
-		seed   = flag.Int64("seed", 42, "random seed")
-		lambda = flag.Float64("lambda", 0.9, "DCM relevance-diversity tradeoff")
-		out    = flag.String("out", "rapid-model.gob", "output model path (manifest written alongside with .json)")
-		det    = flag.Bool("det", false, "use the deterministic head instead of the probabilistic one")
-	)
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "movielens", "dataset preset: taobao, movielens, appstore")
+	flag.Float64Var(&o.scale, "scale", 0.25, "dataset scale")
+	flag.Int64Var(&o.seed, "seed", 42, "random seed")
+	flag.Float64Var(&o.lambda, "lambda", 0.9, "DCM relevance-diversity tradeoff")
+	flag.StringVar(&o.out, "out", "rapid-model.gob", "output model path (manifest written alongside with .json)")
+	flag.BoolVar(&o.det, "det", false, "use the deterministic head instead of the probabilistic one")
+	flag.StringVar(&o.resume, "resume", "", "checkpoint (.gob) to warm-start from; must match the architecture flags")
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 1, "write an atomic checkpoint to -out every N epochs (0 disables)")
 	flag.Parse()
-	if err := run(*ds, *scale, *seed, *lambda, *out, *det); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidtrain: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(ds string, scale float64, seed int64, lambda float64, out string, det bool) error {
+func run(o options) error {
 	var cfg dataset.Config
-	switch ds {
+	switch o.dataset {
 	case "taobao":
-		cfg = dataset.TaobaoLike(seed)
+		cfg = dataset.TaobaoLike(o.seed)
 	case "movielens":
-		cfg = dataset.MovieLensLike(seed)
+		cfg = dataset.MovieLensLike(o.seed)
 	case "appstore":
-		cfg = dataset.AppStoreLike(seed)
+		cfg = dataset.AppStoreLike(o.seed)
 	default:
-		return fmt.Errorf("unknown dataset %q", ds)
+		return fmt.Errorf("unknown dataset %q", o.dataset)
+	}
+	if o.resume != "" {
+		// Pre-flight the checkpoint before spending minutes building data.
+		if _, err := os.Stat(o.resume); err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
 	}
 	opt := experiments.DefaultOptions()
-	opt.Scale = scale
-	opt.Seed = seed
+	opt.Scale = o.scale
+	opt.Seed = o.seed
 	opt.Log = os.Stderr
 
-	rd, err := experiments.BuildRankedData(cfg, experiments.NewRankerByName("DIN", seed), opt)
+	rd, err := experiments.BuildRankedData(cfg, experiments.NewRankerByName("DIN", o.seed), opt)
 	if err != nil {
 		return err
 	}
-	env := experiments.BuildEnv(rd, lambda, opt)
+	env := experiments.BuildEnv(rd, o.lambda, opt)
 	m := experiments.NewRAPID(env, opt, 12, func(c *core.Config) {
-		if det {
+		if o.det {
 			c.Output = core.Deterministic
 		}
 	})
+	if o.resume != "" {
+		f, err := os.Open(o.resume)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		err = m.ParamSet().LoadStrict(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("resume checkpoint %s does not match the model architecture: %w", o.resume, err)
+		}
+		fmt.Fprintf(os.Stderr, "resumed from %s\n", o.resume)
+	}
+
+	// NaN/Inf guards: poisoned batches are skipped and counted rather than
+	// corrupting Adam state; the counters are reported after training.
+	stats := &rerank.TrainStats{}
+	m.TrainCfg.Stats = stats
+	prevOnEpoch := m.TrainCfg.OnEpoch
+	m.TrainCfg.OnEpoch = func(epoch int, loss float64) {
+		if prevOnEpoch != nil {
+			prevOnEpoch(epoch, loss)
+		}
+		if o.ckptEvery > 0 && (epoch+1)%o.ckptEvery == 0 {
+			if err := m.ParamSet().SaveFileAtomic(o.out); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint epoch %d: %v\n", epoch, err)
+			}
+		}
+	}
 	if err := env.FitIfTrainable(m, opt); err != nil {
 		return err
+	}
+	if stats.SkippedInstances > 0 || stats.DroppedSteps > 0 {
+		fmt.Fprintf(os.Stderr, "training guards: skipped %d non-finite instances, dropped %d non-finite steps\n",
+			stats.SkippedInstances, stats.DroppedSteps)
 	}
 	res := env.Evaluate(m, []int{5, 10})
 	metrics := map[string]float64{}
@@ -80,29 +129,42 @@ func run(ds string, scale float64, seed int64, lambda float64, out string, det b
 		metrics[k] = res.Mean(k)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
+	if err := m.ParamSet().SaveFileAtomic(o.out); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := m.ParamSet().Save(f); err != nil {
+	manifest := serve.Manifest{Dataset: o.dataset, Lambda: o.lambda, Config: m.Cfg, Metrics: metrics}
+	if err := writeManifestAtomic(serve.ManifestPath(o.out), manifest); err != nil {
 		return err
 	}
-	manifest := Manifest{Dataset: ds, Lambda: lambda, Config: m.Cfg, Metrics: metrics}
-	mf, err := os.Create(manifestPath(out))
-	if err != nil {
-		return err
-	}
-	defer mf.Close()
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(manifest); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "saved %s (+ manifest); test metrics: %v\n", out, metrics)
+	fmt.Fprintf(os.Stderr, "saved %s (+ manifest); test metrics: %v\n", o.out, metrics)
 	return nil
 }
 
-func manifestPath(out string) string {
-	return strings.TrimSuffix(out, ".gob") + ".json"
+// writeManifestAtomic mirrors the weights' atomic write discipline for the
+// manifest: the (weights, manifest) pair on disk is only ever replaced by a
+// complete file, never observed half-written by a concurrently starting
+// server.
+func writeManifestAtomic(path string, man serve.Manifest) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err = enc.Encode(man); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

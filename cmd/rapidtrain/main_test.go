@@ -1,21 +1,25 @@
 package main
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/serve"
 )
 
 func TestManifestPathSuffix(t *testing.T) {
-	if got := manifestPath("m.gob"); got != "m.json" {
-		t.Fatalf("manifestPath = %s", got)
+	if got := serve.ManifestPath("m.gob"); got != "m.json" {
+		t.Fatalf("ManifestPath = %s", got)
 	}
-	if got := manifestPath("dir/model.gob"); got != "dir/model.json" {
-		t.Fatalf("manifestPath = %s", got)
+	if got := serve.ManifestPath("dir/model.gob"); got != "dir/model.json" {
+		t.Fatalf("ManifestPath = %s", got)
 	}
+}
+
+func trainOpts(out string) options {
+	return options{dataset: "taobao", scale: 0.02, seed: 7, lambda: 0.9, out: out, ckptEvery: 1}
 }
 
 func TestTrainAndSaveRoundTrip(t *testing.T) {
@@ -24,38 +28,78 @@ func TestTrainAndSaveRoundTrip(t *testing.T) {
 	}
 	dir := t.TempDir()
 	out := filepath.Join(dir, "model.gob")
-	if err := run("taobao", 0.02, 7, 0.9, out, false); err != nil {
+	if err := run(trainOpts(out)); err != nil {
 		t.Fatal(err)
 	}
-	// The weights file and manifest must exist and be loadable.
-	mf, err := os.Open(manifestPath(out))
+	// The weights file and manifest must exist and load back strictly
+	// through the serving loader.
+	m, man, err := serve.LoadModel(out)
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer mf.Close()
-	var man Manifest
-	if err := json.NewDecoder(mf).Decode(&man); err != nil {
 		t.Fatal(err)
 	}
 	if man.Dataset != "taobao" || man.Config.Topics != 5 {
 		t.Fatalf("manifest %+v", man)
 	}
-	m := core.New(man.Config)
-	wf, err := os.Open(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer wf.Close()
-	if err := m.ParamSet().Load(wf); err != nil {
-		t.Fatal(err)
+	if m.Cfg.Topics != 5 {
+		t.Fatalf("model config %+v", m.Cfg)
 	}
 	if len(man.Metrics) == 0 {
 		t.Fatal("manifest carries no evaluation metrics")
 	}
+
+	// Resume: a second run warm-started from the checkpoint must succeed
+	// and overwrite the artifacts atomically.
+	o := trainOpts(filepath.Join(dir, "model2.gob"))
+	o.resume = out
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := serve.LoadModel(o.out); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files may be left behind by the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".gob" && filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("stray file %s after atomic writes", e.Name())
+		}
+	}
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run("nope", 0.1, 1, 0.9, filepath.Join(t.TempDir(), "x.gob"), false); err == nil {
+	o := trainOpts(filepath.Join(t.TempDir(), "x.gob"))
+	o.dataset = "nope"
+	if err := run(o); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunBadResume(t *testing.T) {
+	dir := t.TempDir()
+	o := trainOpts(filepath.Join(dir, "x.gob"))
+	o.resume = filepath.Join(dir, "missing.gob")
+	if err := run(o); err == nil {
+		t.Fatal("missing resume checkpoint accepted")
+	}
+	if testing.Short() {
+		return // the mismatch check below builds the full data pipeline
+	}
+	// A checkpoint from a different architecture must be rejected, not
+	// silently partially loaded.
+	other := filepath.Join(dir, "other.gob")
+	cfg := core.Config{
+		UserDim: 3, ItemDim: 2, Topics: 2, Hidden: 4, D: 3,
+		Output: core.Probabilistic, Encoder: core.BiLSTMEncoder, Agg: core.LSTMAgg,
+		UseDiversity: true, Heads: 2, Seed: 1,
+	}
+	if err := core.New(cfg).ParamSet().SaveFileAtomic(other); err != nil {
+		t.Fatal(err)
+	}
+	o.resume = other
+	if err := run(o); err == nil {
+		t.Fatal("mismatched resume checkpoint accepted")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // snapshot is the on-disk representation of a ParamSet.
@@ -36,10 +38,23 @@ func (s *ParamSet) Save(w io.Writer) error {
 // parameter must exist in s with matching shape; extra parameters in s are
 // left untouched (allowing forward-compatible model growth).
 func (s *ParamSet) Load(r io.Reader) error {
+	return s.load(r, false)
+}
+
+// LoadStrict is Load plus a completeness check: every parameter of s must be
+// present in the snapshot. A serving process should prefer this — a weights
+// file that covers only part of the model would otherwise leave the rest at
+// random initialization and serve garbage without any error.
+func (s *ParamSet) LoadStrict(r io.Reader) error {
+	return s.load(r, true)
+}
+
+func (s *ParamSet) load(r io.Reader, strict bool) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("nn: decode snapshot: %w", err)
 	}
+	seen := make(map[string]bool, len(snap.Params))
 	for _, rec := range snap.Params {
 		p := s.Get(rec.Name)
 		if p == nil {
@@ -50,6 +65,44 @@ func (s *ParamSet) Load(r io.Reader) error {
 				rec.Name, p.Value.Rows, p.Value.Cols, rec.Rows, rec.Cols)
 		}
 		copy(p.Value.Data, rec.Data)
+		seen[rec.Name] = true
+	}
+	if strict {
+		for _, p := range s.All() {
+			if !seen[p.Name] {
+				return fmt.Errorf("nn: snapshot is missing parameter %q (%dx%d)", p.Name, p.Value.Rows, p.Value.Cols)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveFileAtomic writes the parameter snapshot to path through a temporary
+// file in the same directory followed by a rename, so a crash or kill
+// mid-write can never leave a truncated or half-written checkpoint at path.
+func (s *ParamSet) SaveFileAtomic(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = s.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("nn: sync checkpoint: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("nn: close checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: publish checkpoint: %w", err)
 	}
 	return nil
 }

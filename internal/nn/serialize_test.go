@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func twoParamSet(seed int64) *ParamSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := NewParamSet()
+	ps.New("a", mat.RandNormal(2, 3, 0, 0.5, rng))
+	ps.New("b", mat.RandNormal(4, 1, 0, 0.5, rng))
+	return ps
+}
+
+func TestLoadStrictRoundTrip(t *testing.T) {
+	src := twoParamSet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := twoParamSet(2)
+	if err := dst.LoadStrict(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range dst.All() {
+		q := src.All()[i]
+		for j := range p.Value.Data {
+			if p.Value.Data[j] != q.Value.Data[j] {
+				t.Fatalf("param %s not restored", p.Name)
+			}
+		}
+	}
+}
+
+func TestLoadStrictMissingParam(t *testing.T) {
+	small := NewParamSet()
+	small.New("a", mat.New(2, 3))
+	var buf bytes.Buffer
+	if err := small.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := twoParamSet(1)
+	// Non-strict load tolerates the gap (forward-compatible growth)…
+	if err := full.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	// …strict load must name the missing parameter.
+	err := full.LoadStrict(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("strict load accepted a partial snapshot")
+	}
+	if !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("error does not name the missing parameter: %v", err)
+	}
+}
+
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weights.gob")
+	src := twoParamSet(3)
+	if err := src.SaveFileAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting an existing checkpoint must also succeed (rename replaces).
+	if err := src.SaveFileAtomic(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := twoParamSet(4)
+	if err := dst.LoadStrict(f); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "weights.gob" {
+		t.Fatalf("directory not clean after atomic save: %v", entries)
+	}
+	// A write into a missing directory fails without leaving junk at path.
+	if err := src.SaveFileAtomic(filepath.Join(dir, "missing", "w.gob")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}

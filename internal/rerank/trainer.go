@@ -40,6 +40,23 @@ type TrainConfig struct {
 	// Patience is the early-stopping patience in epochs (default 2 when
 	// ValidFrac > 0).
 	Patience int
+	// Stats, when non-nil, accumulates robustness counters: instances whose
+	// loss came out NaN/Inf (backward skipped) and optimizer steps dropped
+	// because the accumulated gradient was non-finite. Both guards protect
+	// Adam's moment estimates — a single NaN gradient would otherwise poison
+	// the moving averages for every subsequent step.
+	Stats *TrainStats
+}
+
+// TrainStats counts training anomalies survived by the numerical guards.
+type TrainStats struct {
+	// SkippedInstances is the number of instances whose forward loss was
+	// NaN/Inf; their backward pass was skipped entirely.
+	SkippedInstances int
+	// DroppedSteps is the number of optimizer steps abandoned because the
+	// accumulated batch gradient contained NaN/Inf; the gradients were
+	// zeroed and Adam state left untouched.
+	DroppedSteps int
 }
 
 // DefaultTrainConfig returns the configuration used across the experiment
@@ -85,14 +102,24 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := rng.Perm(len(train))
 		var epochLoss float64
-		pending := 0
+		pending, counted := 0, 0
 		for _, pi := range perm {
 			inst := train[pi]
 			t := nn.NewTape()
 			logits := m.Logits(t, inst, true)
 			loss := t.SigmoidBCE(logits, inst.Labels)
+			lv := loss.Value.Data[0]
+			if math.IsNaN(lv) || math.IsInf(lv, 0) {
+				// Poisoned forward pass: skip backward so the garbage never
+				// reaches the gradient buffers, and count the casualty.
+				if cfg.Stats != nil {
+					cfg.Stats.SkippedInstances++
+				}
+				continue
+			}
 			t.Backward(loss)
-			epochLoss += loss.Value.Data[0]
+			epochLoss += lv
+			counted++
 			pending++
 			if pending == cfg.BatchSize {
 				step(ps, opt, cfg, pending)
@@ -102,7 +129,11 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 		if pending > 0 {
 			step(ps, opt, cfg, pending)
 		}
-		lastLoss = epochLoss / float64(len(train))
+		if counted > 0 {
+			lastLoss = epochLoss / float64(counted)
+		} else {
+			lastLoss = math.NaN()
+		}
 		if cfg.OnEpoch != nil {
 			cfg.OnEpoch(e, lastLoss)
 		}
@@ -163,10 +194,32 @@ func step(ps *nn.ParamSet, opt nn.Optimizer, cfg TrainConfig, batch int) {
 			p.Grad.ScaleInPlace(inv)
 		}
 	}
+	if !gradsFinite(ps) {
+		// A finite loss can still backpropagate into NaN/Inf gradients (e.g.
+		// a saturated softplus). Dropping the step and zeroing the buffers
+		// keeps Adam's moment estimates clean; applying it would corrupt
+		// them permanently.
+		ps.ZeroGrad()
+		if cfg.Stats != nil {
+			cfg.Stats.DroppedSteps++
+		}
+		return
+	}
 	if cfg.ClipNorm > 0 {
 		ps.ClipGradNorm(cfg.ClipNorm)
 	}
 	opt.Step(ps.All())
+}
+
+func gradsFinite(ps *nn.ParamSet) bool {
+	for _, p := range ps.All() {
+		for _, g := range p.Grad.Data {
+			if math.IsNaN(g) || math.IsInf(g, 0) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // ScoreWithSigmoid evaluates the model on one instance (inference mode) and

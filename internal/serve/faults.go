@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/rerank"
+)
+
+// FaultInjector is the chaos-testing seam on the scoring path. Production
+// servers leave it nil (a nil injector costs one pointer compare per
+// request); tests install an implementation to simulate the failure modes a
+// live re-ranker must survive:
+//
+//   - latency spikes — BeforeScore sleeps past the request budget, forcing
+//     the deadline-degradation path;
+//   - scoring errors — BeforeScore returns a non-nil error, standing in for
+//     a remote feature store or embedding service failing;
+//   - model bugs — BeforeScore panics, standing in for an out-of-range index
+//     or corrupted weight inside the forward pass.
+//
+// BeforeScore runs on the scoring goroutine, inside the panic-recovery and
+// deadline envelope, immediately before the model is invoked. Any non-nil
+// error (and any panic) triggers the degraded fallback, never a 5xx.
+type FaultInjector interface {
+	BeforeScore(ctx context.Context, inst *rerank.Instance) error
+}
+
+// FaultFunc adapts a plain function to the FaultInjector interface.
+type FaultFunc func(ctx context.Context, inst *rerank.Instance) error
+
+// BeforeScore implements FaultInjector.
+func (f FaultFunc) BeforeScore(ctx context.Context, inst *rerank.Instance) error {
+	return f(ctx, inst)
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topics"
+)
+
+// Manifest describes a saved model so a server can rebuild the architecture
+// before loading weights. rapidtrain writes it alongside the weights file;
+// rapidserve reads it back. Metrics carries the training run's held-out
+// evaluation for operator sanity checks.
+type Manifest struct {
+	Dataset string             `json:"dataset"`
+	Lambda  float64            `json:"lambda"`
+	Config  core.Config        `json:"config"`
+	Metrics map[string]float64 `json:"Metrics,omitempty"`
+}
+
+// ManifestPath derives the manifest's path from the weights path
+// (model.gob → model.json).
+func ManifestPath(modelPath string) string {
+	return strings.TrimSuffix(modelPath, ".gob") + ".json"
+}
+
+// ValidateConfig rejects a manifest config the model constructor would
+// panic on or that could never describe a servable model. Startup is the
+// place to fail: a bad geometry discovered at the first request takes the
+// serving chain down with it.
+func ValidateConfig(cfg core.Config) error {
+	switch {
+	case cfg.UserDim <= 0:
+		return fmt.Errorf("UserDim %d must be positive", cfg.UserDim)
+	case cfg.ItemDim <= 0:
+		return fmt.Errorf("ItemDim %d must be positive", cfg.ItemDim)
+	case cfg.Topics <= 0:
+		return fmt.Errorf("Topics %d must be positive", cfg.Topics)
+	case cfg.Hidden <= 0:
+		return fmt.Errorf("Hidden %d must be positive", cfg.Hidden)
+	case cfg.D <= 0:
+		return fmt.Errorf("D %d must be positive", cfg.D)
+	}
+	if cfg.Output != core.Deterministic && cfg.Output != core.Probabilistic {
+		return fmt.Errorf("unknown output mode %d", cfg.Output)
+	}
+	if cfg.Encoder != core.BiLSTMEncoder && cfg.Encoder != core.TransformerEncoder {
+		return fmt.Errorf("unknown list encoder %d", cfg.Encoder)
+	}
+	if cfg.Agg != core.LSTMAgg && cfg.Agg != core.MeanAgg {
+		return fmt.Errorf("unknown topic aggregator %d", cfg.Agg)
+	}
+	if cfg.Encoder == core.TransformerEncoder && cfg.Heads <= 0 {
+		return fmt.Errorf("transformer encoder needs Heads > 0, got %d", cfg.Heads)
+	}
+	if _, err := topics.DiversityFunctionByName(cfg.DiversityFn); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadModel reads the manifest next to modelPath, validates its geometry,
+// rebuilds the architecture and loads the weights strictly: every model
+// parameter must be present in the weights file with a matching shape. Any
+// disagreement between weights and manifest is a startup error with the
+// offending parameter named — never a panic (or silently random weights) at
+// the first request.
+func LoadModel(modelPath string) (*core.Model, Manifest, error) {
+	var man Manifest
+	mf, err := os.Open(ManifestPath(modelPath))
+	if err != nil {
+		return nil, man, fmt.Errorf("open manifest: %w", err)
+	}
+	defer mf.Close()
+	if err := json.NewDecoder(mf).Decode(&man); err != nil {
+		return nil, man, fmt.Errorf("decode manifest: %w", err)
+	}
+	if err := ValidateConfig(man.Config); err != nil {
+		return nil, man, fmt.Errorf("manifest %s: invalid model config: %w", ManifestPath(modelPath), err)
+	}
+	m, err := buildModel(man.Config)
+	if err != nil {
+		return nil, man, err
+	}
+	wf, err := os.Open(modelPath)
+	if err != nil {
+		return nil, man, fmt.Errorf("open model: %w", err)
+	}
+	defer wf.Close()
+	if err := m.ParamSet().LoadStrict(wf); err != nil {
+		return nil, man, fmt.Errorf("weights %s disagree with manifest config: %w", modelPath, err)
+	}
+	return m, man, nil
+}
+
+// buildModel constructs the architecture, converting any constructor panic
+// (core.New panics on configs it cannot build) into an error.
+func buildModel(cfg core.Config) (m *core.Model, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("build model from manifest config: %v", p)
+		}
+	}()
+	return core.New(cfg), nil
+}

@@ -1,0 +1,371 @@
+// Package serve is the hardened HTTP serving layer for a trained RAPID
+// model. The paper's efficiency analysis (Section V-B) positions re-ranking
+// as a stage inside an industrial response budget (~50 ms); a stage in that
+// position must degrade, shed or drain — never stall or crash the chain it
+// sits in. The server therefore enforces, per request:
+//
+//   - a scoring deadline (Config.Budget) with graceful degradation: on
+//     overrun, scoring error or recovered scoring panic the response falls
+//     back to the initial-ranker ordering and is marked "degraded" instead
+//     of erroring;
+//   - bounded concurrency: a semaphore with a bounded queue wait sheds
+//     excess load with 429 + Retry-After rather than queueing unboundedly;
+//   - panic recovery: a bug anywhere in the handler chain yields a 500,
+//     never a process death;
+//   - request-size caps via http.MaxBytesReader;
+//
+// and, per process: an http.Server with read/write/idle timeouts, a /readyz
+// probe (distinct from /healthz liveness) that flips unready during drain,
+// and graceful shutdown that completes in-flight requests before exit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rerank"
+)
+
+// MaxListLength caps the number of candidates in one re-rank request.
+// Re-ranking operates on the final stage's short list (the paper's lists are
+// tens of items); a four-digit list is a malformed or hostile request, and
+// the Bi-LSTM's O(L) step chain would blow the budget anyway.
+const MaxListLength = 1024
+
+// Scorer is the model-side contract the server needs: score an instance,
+// name the model. *core.Model implements it; tests substitute stubs.
+type Scorer interface {
+	Scores(inst *rerank.Instance) []float64
+	Name() string
+}
+
+// Config bounds the server's resource envelope. The zero value is usable:
+// every field falls back to the listed default.
+type Config struct {
+	// Budget is the per-request scoring deadline (default 50ms, the
+	// industrial response budget of Section V-B). On overrun the request
+	// degrades to the initial-ranker ordering.
+	Budget time.Duration
+	// MaxInFlight bounds concurrently executing scoring passes (default
+	// 4×GOMAXPROCS). Scoring is CPU-bound; admitting more than a small
+	// multiple of the cores only grows tail latency.
+	MaxInFlight int
+	// QueueWait is how long an admission may wait for a scoring slot before
+	// the request is shed with 429 (default 10ms).
+	QueueWait time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// ReadTimeout/WriteTimeout/IdleTimeout configure the http.Server
+	// (defaults 5s/10s/60s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 50 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Stats are the server's operational counters, exported on /healthz.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Degraded  int64 `json:"degraded"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics_recovered"`
+	BadInput  int64 `json:"bad_input"`
+	Responses int64 `json:"responses_ok"`
+}
+
+// Server serves a trained model behind the robustness envelope above.
+type Server struct {
+	cfg      Config
+	model    Scorer
+	geom     core.Config
+	manifest Manifest
+	sem      chan struct{}
+	ready    atomic.Bool
+
+	// Faults is the chaos-testing seam; nil in production.
+	Faults FaultInjector
+	// Log receives operational messages; defaults to log.Printf.
+	Log func(format string, args ...any)
+
+	requests  atomic.Int64
+	degraded  atomic.Int64
+	shed      atomic.Int64
+	panics    atomic.Int64
+	badInput  atomic.Int64
+	responses atomic.Int64
+}
+
+// NewServer wraps a scorer with the hardened handler chain. man.Config must
+// describe the scorer's instance geometry (it validates incoming requests).
+func NewServer(model Scorer, man Manifest, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		model:    model,
+		geom:     man.Config,
+		manifest: man,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		Log:      log.Printf,
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// Stats snapshots the operational counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		Degraded:  s.degraded.Load(),
+		Shed:      s.shed.Load(),
+		Panics:    s.panics.Load(),
+		BadInput:  s.badInput.Load(),
+		Responses: s.responses.Load(),
+	}
+}
+
+// Handler returns the full handler chain: routing wrapped in panic
+// recovery.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /rerank", s.handleRerank)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	return s.recovered(mux)
+}
+
+// recovered converts any handler panic into a 500 instead of a process
+// death. Scoring panics never reach here — they are recovered on the scoring
+// goroutine and degrade the response — so this is the last line of defense
+// for bugs in routing, decoding or encoding.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.Log("serve: recovered handler panic on %s %s: %v", r.Method, r.URL.Path, p)
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+type scoreOutcome struct {
+	scores   []float64
+	err      error
+	panicked bool
+}
+
+func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req RerankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badInput.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	inst, err := ToInstance(s.geom, &req)
+	if err != nil {
+		s.badInput.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: wait at most QueueWait for a scoring slot, then shed. The
+	// slot is released by the scoring goroutine when scoring truly ends, not
+	// when the handler returns — an abandoned (deadline-overrun) scorer
+	// still occupies CPU, and only this accounting keeps the concurrency
+	// bound honest.
+	admit := time.NewTimer(s.cfg.QueueWait)
+	defer admit.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-admit.C:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+		return
+	case <-r.Context().Done():
+		return // client gone; nothing to answer
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
+	defer cancel()
+	done := make(chan scoreOutcome, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.Log("serve: recovered scoring panic: %v", p)
+				done <- scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
+			}
+		}()
+		if f := s.Faults; f != nil {
+			if err := f.BeforeScore(ctx, inst); err != nil {
+				done <- scoreOutcome{err: err}
+				return
+			}
+		}
+		done <- scoreOutcome{scores: s.model.Scores(inst)}
+	}()
+
+	var resp RerankResponse
+	select {
+	case out := <-done:
+		if out.err != nil {
+			reason := "error"
+			if out.panicked {
+				reason = "panic"
+			}
+			resp = s.degrade(inst, reason)
+		} else {
+			order := rerank.OrderByScores(inst.Items, out.scores)
+			pos := make(map[int]int, len(inst.Items))
+			for i, id := range inst.Items {
+				pos[id] = i
+			}
+			ordered := make([]float64, len(order))
+			for i, id := range order {
+				ordered[i] = out.scores[pos[id]]
+			}
+			resp = RerankResponse{Ranked: order, Scores: ordered}
+			s.responses.Add(1)
+		}
+	case <-ctx.Done():
+		resp = s.degrade(inst, "deadline")
+	}
+	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1000
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.Log("serve: encode response: %v", err)
+	}
+}
+
+// degrade builds the graceful-degradation response: the initial ranker's
+// ordering, marked degraded. A re-ranking stage that cannot answer in budget
+// must hand back the list it was given — the upstream ranking is always a
+// valid (if less diverse) answer, while an error would cost the impression.
+func (s *Server) degrade(inst *rerank.Instance, reason string) RerankResponse {
+	s.degraded.Add(1)
+	order, scores := FallbackOrder(inst)
+	return RerankResponse{Ranked: order, Scores: scores, Degraded: true, DegradedReason: reason}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"dataset": s.manifest.Dataset,
+		"model":   s.model.Name(),
+		"topics":  s.geom.Topics,
+		"hidden":  s.geom.Hidden,
+		"stats":   s.Stats(),
+	})
+}
+
+// handleReady is the readiness probe: 200 while the server accepts traffic,
+// 503 once drain has begun (so load balancers stop routing new requests) —
+// distinct from /healthz, which stays 200 for as long as the process lives.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+}
+
+// NewHTTPServer builds the http.Server with the hardened timeouts. A server
+// without read/write timeouts can be wedged by a single slow-loris client.
+func (s *Server) NewHTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
+}
+
+// Run listens on addr and serves until ctx is canceled (wire it to
+// SIGINT/SIGTERM via signal.NotifyContext), then drains gracefully: flips
+// /readyz to 503, stops accepting connections, and waits up to DrainTimeout
+// for in-flight requests to complete.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on an existing listener (tests use :0 listeners).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := s.NewHTTPServer(ln.Addr().String())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	s.Log("serve: draining (timeout %v)", s.cfg.DrainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rerank"
+)
+
+func testConfig() core.Config {
+	return core.Config{
+		UserDim: 3, ItemDim: 2, Topics: 2,
+		Hidden: 4, D: 3,
+		Output: core.Probabilistic, Encoder: core.BiLSTMEncoder, Agg: core.LSTMAgg,
+		UseDiversity: true, Heads: 2, Seed: 1,
+	}
+}
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	mc := testConfig()
+	s := NewServer(core.New(mc), Manifest{Dataset: "test", Config: mc}, cfg)
+	s.Log = t.Logf
+	return s
+}
+
+func validRequest() *RerankRequest {
+	return &RerankRequest{
+		UserFeatures: []float64{0.1, 0.2, 0.3},
+		Items: []RerankItem{
+			{ID: 7, Features: []float64{0.5, 0.1}, Cover: []float64{1, 0}, InitScore: 0.9},
+			{ID: 8, Features: []float64{0.2, 0.7}, Cover: []float64{0, 1}, InitScore: 0.4},
+			{ID: 9, Features: []float64{0.3, 0.3}, Cover: []float64{1, 0}, InitScore: 0.2},
+		},
+		TopicSequences: [][]SeqItemWire{
+			{{Features: []float64{0.5, 0.2}}},
+			{},
+		},
+	}
+}
+
+func postRerank(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/rerank", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestToInstanceValid(t *testing.T) {
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.L() != 3 || inst.M != 2 {
+		t.Fatalf("instance geometry L=%d M=%d", inst.L(), inst.M)
+	}
+	if len(inst.TopicSeqs[0]) != 1 {
+		t.Fatalf("topic 0 sequence %v", inst.TopicSeqs[0])
+	}
+	if f := inst.ItemFeat(inst.TopicSeqs[0][0]); f[0] != 0.5 {
+		t.Fatal("sequence item features unresolved")
+	}
+	// CoverOf resolves listed items via the per-request map and unknown ids
+	// to a zero vector.
+	if c := inst.CoverOf(8); c[1] != 1 {
+		t.Fatalf("CoverOf(8) = %v", c)
+	}
+	if c := inst.CoverOf(12345); c[0] != 0 || c[1] != 0 {
+		t.Fatalf("CoverOf(unknown) = %v", c)
+	}
+	scores := core.New(testConfig()).Scores(inst)
+	if len(scores) != 3 {
+		t.Fatalf("scores %v", scores)
+	}
+}
+
+func TestToInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*RerankRequest)
+	}{
+		{"wrong user dims", func(r *RerankRequest) { r.UserFeatures = []float64{1} }},
+		{"no items", func(r *RerankRequest) { r.Items = nil }},
+		{"wrong item dims", func(r *RerankRequest) { r.Items[0].Features = []float64{1, 2, 3} }},
+		{"wrong cover dims", func(r *RerankRequest) { r.Items[1].Cover = []float64{1} }},
+		{"wrong topic count", func(r *RerankRequest) { r.TopicSequences = r.TopicSequences[:1] }},
+		{"wrong seq dims", func(r *RerankRequest) {
+			r.TopicSequences[0] = []SeqItemWire{{Features: []float64{1}}}
+		}},
+		{"oversized list", func(r *RerankRequest) {
+			it := r.Items[0]
+			r.Items = make([]RerankItem, MaxListLength+1)
+			for i := range r.Items {
+				it.ID = i
+				r.Items[i] = it
+			}
+		}},
+	}
+	for _, tc := range cases {
+		req := validRequest()
+		tc.mutate(req)
+		if _, err := ToInstance(testConfig(), req); err == nil {
+			t.Fatalf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestHandleRerank(t *testing.T) {
+	s := testServer(t, Config{})
+	body, _ := json.Marshal(validRequest())
+	w := postRerank(t, s.Handler(), body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ranked) != 3 || len(resp.Scores) != 3 {
+		t.Fatalf("response %+v", resp)
+	}
+	if resp.Degraded {
+		t.Fatalf("healthy request degraded: %+v", resp)
+	}
+	for i := 1; i < len(resp.Scores); i++ {
+		if resp.Scores[i] > resp.Scores[i-1]+1e-12 {
+			t.Fatalf("scores not sorted: %v", resp.Scores)
+		}
+	}
+	seen := map[int]bool{}
+	for _, id := range resp.Ranked {
+		seen[id] = true
+	}
+	for _, id := range []int{7, 8, 9} {
+		if !seen[id] {
+			t.Fatalf("item %d missing from ranking", id)
+		}
+	}
+	if st := s.Stats(); st.Responses != 1 || st.Requests != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestHandleRerankBadInput is the wire-layer table: every malformed input
+// must be rejected with a 4xx, never crash or hang.
+func TestHandleRerankBadInput(t *testing.T) {
+	s := testServer(t, Config{MaxBodyBytes: 2048})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body func() []byte
+		want int
+	}{
+		{"malformed json", func() []byte { return []byte("{") }, http.StatusBadRequest},
+		{"wrong type", func() []byte { return []byte(`{"user_features": "nope"}`) }, http.StatusBadRequest},
+		{"empty body", func() []byte { return nil }, http.StatusBadRequest},
+		{"empty items", func() []byte {
+			r := validRequest()
+			r.Items = nil
+			b, _ := json.Marshal(r)
+			return b
+		}, http.StatusBadRequest},
+		{"dimension mismatch", func() []byte {
+			r := validRequest()
+			r.UserFeatures = []float64{1, 2}
+			b, _ := json.Marshal(r)
+			return b
+		}, http.StatusBadRequest},
+		{"oversized body", func() []byte {
+			return []byte(`{"user_features": [` + strings.Repeat("0.1,", 4096) + `0.1]}`)
+		}, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		if w := postRerank(t, h, tc.body()); w.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.want, w.Body.String())
+		}
+	}
+	if st := s.Stats(); st.BadInput != int64(len(cases)) {
+		t.Fatalf("bad-input counter %d, want %d", st.BadInput, len(cases))
+	}
+}
+
+func wantDegraded(t *testing.T, w *httptest.ResponseRecorder, reason string) RerankResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.DegradedReason != reason {
+		t.Fatalf("want degraded %q, got %+v", reason, resp)
+	}
+	// The degradation contract: the initial-ranker ordering by init score.
+	if len(resp.Ranked) != 3 || resp.Ranked[0] != 7 || resp.Ranked[1] != 8 || resp.Ranked[2] != 9 {
+		t.Fatalf("degraded ranking %v is not the initial order", resp.Ranked)
+	}
+	if resp.Scores[0] != 0.9 || resp.Scores[1] != 0.4 || resp.Scores[2] != 0.2 {
+		t.Fatalf("degraded scores %v are not the init scores", resp.Scores)
+	}
+	return resp
+}
+
+func TestDegradedOnScoringError(t *testing.T) {
+	s := testServer(t, Config{})
+	s.Faults = FaultFunc(func(context.Context, *rerank.Instance) error {
+		return errors.New("feature store down")
+	})
+	body, _ := json.Marshal(validRequest())
+	wantDegraded(t, postRerank(t, s.Handler(), body), "error")
+	if st := s.Stats(); st.Degraded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDegradedOnScoringPanic(t *testing.T) {
+	s := testServer(t, Config{})
+	s.Faults = FaultFunc(func(context.Context, *rerank.Instance) error {
+		panic("index out of range in model")
+	})
+	body, _ := json.Marshal(validRequest())
+	wantDegraded(t, postRerank(t, s.Handler(), body), "panic")
+	if st := s.Stats(); st.Panics != 1 || st.Degraded != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDegradedOnDeadline(t *testing.T) {
+	s := testServer(t, Config{Budget: 10 * time.Millisecond})
+	s.Faults = FaultFunc(func(ctx context.Context, _ *rerank.Instance) error {
+		<-ctx.Done() // latency spike that outlives the budget
+		return ctx.Err()
+	})
+	body, _ := json.Marshal(validRequest())
+	wantDegraded(t, postRerank(t, s.Handler(), body), "deadline")
+}
+
+// TestSheddingUnderLoad verifies the backpressure path: with one scoring
+// slot occupied, a second request exhausts its queue wait and is shed with
+// 429 + Retry-After.
+func TestSheddingUnderLoad(t *testing.T) {
+	s := testServer(t, Config{
+		MaxInFlight: 1,
+		QueueWait:   5 * time.Millisecond,
+		Budget:      2 * time.Second,
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Faults = FaultFunc(func(context.Context, *rerank.Instance) error {
+		close(entered)
+		<-release
+		return nil
+	})
+	h := s.Handler()
+	body, _ := json.Marshal(validRequest())
+	first := make(chan *httptest.ResponseRecorder, 1)
+	go func() { first <- postRerank(t, h, body) }()
+	<-entered // slot now held by the first request
+	w := postRerank(t, h, body)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	if w := <-first; w.Code != http.StatusOK {
+		t.Fatalf("first request status %d", w.Code)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRecoveryMiddleware: a panic outside the scoring goroutine (a handler
+// bug) must surface as a 500, never kill the process.
+func TestRecoveryMiddleware(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.recovered(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/anything", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["status"] != "ok" || m["model"] != "RAPID-pro" {
+		t.Fatalf("health payload %v", m)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz status %d", w.Code)
+	}
+	// A draining server reports unready but stays live.
+	s.ready.Store(false)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d, want 503", w.Code)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("draining healthz status %d, want 200", w.Code)
+	}
+}
+
+func TestManifestPath(t *testing.T) {
+	if got := ManifestPath("model.gob"); got != "model.json" {
+		t.Fatalf("ManifestPath = %s", got)
+	}
+	if got := ManifestPath("weird"); got != "weird.json" {
+		t.Fatalf("ManifestPath = %s", got)
+	}
+}
