@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race bench
+.PHONY: check build vet fmt test test-short race bench bench-json
 
 check: vet fmt test
 
@@ -31,3 +31,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable perf snapshot: runs the shared benchmark suite
+# (internal/benchsuite) and writes current numbers next to the committed
+# pre-change baseline. Slow — includes a full Table II(a) experiment.
+bench-json:
+	$(GO) run ./cmd/rapidbench -benchjson BENCH_PR2.json

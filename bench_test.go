@@ -10,17 +10,11 @@
 package rapid
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/bandit"
-	"repro/internal/baselines"
-	"repro/internal/dataset"
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
-	"repro/internal/mat"
-	"repro/internal/nn"
-	"repro/internal/rerank"
-	"repro/internal/topics"
 )
 
 // benchScale keeps one experiment iteration in the tens of seconds.
@@ -149,89 +143,23 @@ func BenchmarkRegret(b *testing.B) {
 }
 
 // ---- Micro-benchmarks for hot paths ----
+//
+// The bodies live in internal/benchsuite so `rapidbench -benchjson` (which
+// writes BENCH_PR2.json) runs exactly the same code.
 
-func BenchmarkMatMul32(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	x := mat.RandNormal(32, 32, 0, 1, rng)
-	y := mat.RandNormal(32, 32, 0, 1, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		x.MatMul(y)
-	}
-}
+func BenchmarkMatMul32(b *testing.B) { benchsuite.MatMul32(b) }
 
-func BenchmarkLSTMStep(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	ps := nn.NewParamSet()
-	cell := nn.NewLSTMCell(ps, "c", 24, 16, rng)
-	x := mat.RandNormal(1, 24, 0, 1, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t := nn.NewTape()
-		h, c := cell.InitState(t)
-		cell.Step(t, t.Constant(x), h, c)
-	}
-}
+func BenchmarkLSTMStep(b *testing.B) { benchsuite.LSTMStep(b) }
 
-func BenchmarkBiLSTMList20(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
-	ps := nn.NewParamSet()
-	bi := nn.NewBiLSTM(ps, "b", 30, 16, rng)
-	seq := mat.RandNormal(20, 30, 0, 1, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t := nn.NewTape()
-		bi.Forward(t, t.Constant(seq))
-	}
-}
+func BenchmarkBiLSTMList20(b *testing.B) { benchsuite.BiLSTMList20(b) }
 
-func BenchmarkRAPIDInference(b *testing.B) {
-	// One full RAPID forward pass over a 20-item list — the quantity the
-	// paper's efficiency analysis (Section V-B) bounds by ~50 ms.
-	cfg := dataset.TaobaoLike(1).Scaled(0.05)
-	d := dataset.MustGenerate(cfg)
-	opt := benchOptions(1)
-	rng := rand.New(rand.NewSource(4))
-	pool := d.RerankPools[0]
-	items := pool.Candidates[:cfg.ListLen]
-	scores := make([]float64, len(items))
-	req := dataset.Request{User: pool.User, Items: items, InitScores: scores}
-	inst := rerank.NewInstance(d, req, rng)
-	env := &experiments.Env{Data: d}
-	m := experiments.NewRAPID(env, opt, 1, nil)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Scores(inst)
-	}
-}
+func BenchmarkRAPIDInference(b *testing.B) { benchsuite.RAPIDInference(b) }
 
-func BenchmarkDPPGreedyMAP(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
-	base := mat.RandNormal(20, 8, 0, 1, rng)
-	kernel := base.MatMul(base.T())
-	for i := 0; i < 20; i++ {
-		kernel.Set(i, i, kernel.At(i, i)+0.5)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		baselines.GreedyMAP(kernel, 10)
-	}
-}
+func BenchmarkDPPGreedyMAP(b *testing.B) { benchsuite.DPPGreedyMAP(b) }
 
-func BenchmarkMarginalDiversity(b *testing.B) {
-	rng := rand.New(rand.NewSource(6))
-	cover := make([][]float64, 20)
-	for i := range cover {
-		c := make([]float64, 20)
-		for j := range c {
-			c[j] = rng.Float64() * 0.3
-		}
-		cover[i] = c
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		benchSinkMD = topics.MarginalDiversity(cover, 20)
-	}
-}
+func BenchmarkMarginalDiversity(b *testing.B) { benchsuite.MarginalDiversity(b) }
 
-var benchSinkMD [][]float64
+// BenchmarkTrainListwise — end-to-end RAPID-pro training over a fixed
+// synthetic set, the target of the data-parallel trainer refactor. Reports
+// train-instances/sec alongside ns/op.
+func BenchmarkTrainListwise(b *testing.B) { benchsuite.TrainListwise(b) }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// benchResult is one benchmark's measurements in BENCH_PR2.json.
+type benchResult struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	Iterations      int     `json:"iterations,omitempty"`
+	InstancesPerSec float64 `json:"train_instances_per_sec,omitempty"`
+	SpeedupVsBase   float64 `json:"speedup_vs_baseline,omitempty"`
+	AllocRatioBase  float64 `json:"alloc_reduction_vs_baseline,omitempty"`
+}
+
+type benchEnv struct {
+	Go         string `json:"go"`
+	CPU        int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Arch       string `json:"goarch"`
+}
+
+type benchFile struct {
+	Generated string                 `json:"generated"`
+	Env       benchEnv               `json:"env"`
+	Baseline  benchBaseline          `json:"baseline"`
+	Current   map[string]benchResult `json:"current"`
+}
+
+type benchBaseline struct {
+	Commit  string                 `json:"commit"`
+	Note    string                 `json:"note"`
+	Results map[string]benchResult `json:"results"`
+}
+
+// baselineResults are the pre-change numbers, measured at the named commit
+// on the benchmarks as they existed then (per-iteration fresh tapes, branchy
+// MatMul, sequential trainer). Intel Xeon @ 2.10GHz, 1 CPU, go1.24.0.
+var baselineResults = benchBaseline{
+	Commit: "6e72360",
+	Note: "pre data-parallel-trainer / pooled-tape baseline; " +
+		"LSTMStep and BiLSTMList20 then allocated a fresh tape per iteration",
+	Results: map[string]benchResult{
+		"MatMul32":       {NsPerOp: 20378, BytesPerOp: 8240, AllocsPerOp: 2},
+		"LSTMStep":       {NsPerOp: 8581, BytesPerOp: 11864, AllocsPerOp: 114},
+		"BiLSTMList20":   {NsPerOp: 394378, BytesPerOp: 419760, AllocsPerOp: 4436},
+		"RAPIDInference": {NsPerOp: 565234, BytesPerOp: 583528, AllocsPerOp: 5743},
+		"Table2a":        {NsPerOp: 13782878106, BytesPerOp: 15604627728, AllocsPerOp: 29379216},
+	},
+}
+
+// runBenchJSON executes the shared benchmark suite and writes the results —
+// alongside the committed pre-change baseline — to path as JSON. Progress
+// goes to stderr; the heavyweight Table2a entry runs last.
+func runBenchJSON(path string) error {
+	out := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Env: benchEnv{
+			Go:         runtime.Version(),
+			CPU:        runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Arch:       runtime.GOARCH,
+		},
+		Baseline: baselineResults,
+		Current:  make(map[string]benchResult),
+	}
+	for _, e := range benchsuite.Entries() {
+		fmt.Fprintf(os.Stderr, "rapidbench: benchmarking %s...\n", e.Name)
+		r := testing.Benchmark(e.F)
+		res := benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if ips, ok := r.Extra["instances/s"]; ok {
+			res.InstancesPerSec = ips
+		} else if e.InstancesPerOp > 0 && res.NsPerOp > 0 {
+			res.InstancesPerSec = float64(e.InstancesPerOp) / (res.NsPerOp * 1e-9)
+		}
+		if base, ok := out.Baseline.Results[e.Name]; ok {
+			if res.NsPerOp > 0 {
+				res.SpeedupVsBase = base.NsPerOp / res.NsPerOp
+			}
+			if res.AllocsPerOp > 0 {
+				res.AllocRatioBase = float64(base.AllocsPerOp) / float64(res.AllocsPerOp)
+			}
+		}
+		out.Current[e.Name] = res
+		fmt.Fprintf(os.Stderr, "rapidbench: %-18s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			e.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rapidbench: wrote %s\n", path)
+	return nil
+}

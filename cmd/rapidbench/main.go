@@ -25,8 +25,17 @@ func main() {
 		quiet  = flag.Bool("quiet", false, "suppress progress logging")
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of aligned text")
 		svg    = flag.String("svg", "", "write the regret figure to this SVG path (regret experiment only)")
+		benchJ = flag.String("benchjson", "", "run the shared benchmark suite and write machine-readable results (BENCH_PR2.json) to this path, then exit")
 	)
 	flag.Parse()
+
+	if *benchJ != "" {
+		if err := runBenchJSON(*benchJ); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale

@@ -51,6 +51,10 @@ func (m *DESA) build(featDim, topicsN int) {
 // Params implements rerank.ListwiseModel.
 func (m *DESA) Params() *nn.ParamSet { return m.ps }
 
+// TapeCapHint implements rerank.TapeSized: two attention views plus the
+// scoring MLP, all matrix-level ops.
+func (m *DESA) TapeCapHint() int { return 192 }
+
 // Logits implements rerank.ListwiseModel.
 func (m *DESA) Logits(t *nn.Tape, inst *rerank.Instance, _ bool) *nn.Node {
 	if !m.built {

@@ -47,6 +47,10 @@ func (m *DLCM) build(featDim int) {
 // Params implements rerank.ListwiseModel.
 func (m *DLCM) Params() *nn.ParamSet { return m.ps }
 
+// TapeCapHint implements rerank.TapeSized: the GRU recurrence dominates at
+// ~15 nodes per list position.
+func (m *DLCM) TapeCapHint() int { return 64*16 + 64 }
+
 // Logits implements rerank.ListwiseModel.
 func (m *DLCM) Logits(t *nn.Tape, inst *rerank.Instance, _ bool) *nn.Node {
 	if !m.built {

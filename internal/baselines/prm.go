@@ -54,6 +54,10 @@ func (m *PRM) build(featDim int) {
 // Params implements rerank.ListwiseModel.
 func (m *PRM) Params() *nn.ParamSet { return m.ps }
 
+// TapeCapHint implements rerank.TapeSized: transformer blocks record a
+// bounded number of (matrix-level) nodes regardless of list length.
+func (m *PRM) TapeCapHint() int { return 64 + m.Blocks*(m.Heads*16+32) }
+
 // Logits implements rerank.ListwiseModel.
 func (m *PRM) Logits(t *nn.Tape, inst *rerank.Instance, _ bool) *nn.Node {
 	if !m.built {

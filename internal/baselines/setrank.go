@@ -84,6 +84,10 @@ func crossMHA(t *nn.Tape, mha *nn.MultiHeadAttention, q, kv *nn.Node) *nn.Node {
 // Params implements rerank.ListwiseModel.
 func (m *SetRank) Params() *nn.ParamSet { return m.ps }
 
+// TapeCapHint implements rerank.TapeSized: each IMSAB block runs two
+// multi-head cross-attentions through the inducing points.
+func (m *SetRank) TapeCapHint() int { return 64 + m.Blocks*(m.Heads*32+32) }
+
 // Logits implements rerank.ListwiseModel.
 func (m *SetRank) Logits(t *nn.Tape, inst *rerank.Instance, _ bool) *nn.Node {
 	if !m.built {

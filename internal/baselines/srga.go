@@ -53,6 +53,10 @@ func (m *SRGA) build(featDim int) {
 // Params implements rerank.ListwiseModel.
 func (m *SRGA) Params() *nn.ParamSet { return m.ps }
 
+// TapeCapHint implements rerank.TapeSized: global + local attention views,
+// gate, norm and scorer — all matrix-level ops.
+func (m *SRGA) TapeCapHint() int { return 256 }
+
 // Logits implements rerank.ListwiseModel.
 func (m *SRGA) Logits(t *nn.Tape, inst *rerank.Instance, _ bool) *nn.Node {
 	if !m.built {

@@ -1,0 +1,200 @@
+// Package benchsuite holds the benchmark bodies shared by the repository's
+// `go test -bench` wrappers (bench_test.go) and the machine-readable perf
+// harness (`rapidbench -benchjson`, `make bench-json`). Keeping one
+// implementation means the numbers in BENCH_PR2.json are produced by
+// exactly the code the named benchmarks run.
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/mat"
+	"repro/internal/nn"
+	"repro/internal/rerank"
+	"repro/internal/topics"
+)
+
+// Entry names one benchmark for the JSON harness. InstancesPerOp, when
+// non-zero, is the number of training instances one op processes, so
+// train-instances/sec can be derived from ns/op.
+type Entry struct {
+	Name           string
+	F              func(*testing.B)
+	InstancesPerOp int
+}
+
+// Entries returns the benchmarks emitted into BENCH_PR2.json, cheapest
+// first. Table2a (a full end-to-end experiment, minutes at scale 0.08) is
+// last so a watcher sees the micro numbers early.
+func Entries() []Entry {
+	return []Entry{
+		{Name: "MatMul32", F: MatMul32},
+		{Name: "LSTMStep", F: LSTMStep},
+		{Name: "BiLSTMList20", F: BiLSTMList20},
+		{Name: "RAPIDInference", F: RAPIDInference},
+		{Name: "DPPGreedyMAP", F: DPPGreedyMAP},
+		{Name: "MarginalDiversity", F: MarginalDiversity},
+		{Name: "TrainListwise", F: TrainListwise, InstancesPerOp: trainBenchInstances * trainBenchEpochs},
+		{Name: "Table2a", F: Table2a},
+	}
+}
+
+// MatMul32 measures the dense 32×32 matrix multiply kernel.
+func MatMul32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := mat.RandNormal(32, 32, 0, 1, rng)
+	y := mat.RandNormal(32, 32, 0, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatMul(y)
+	}
+}
+
+// LSTMStep measures one LSTM cell step on a reused tape — the trainer's
+// steady state, where every buffer comes from the tape's free-list.
+func LSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ps := nn.NewParamSet()
+	cell := nn.NewLSTMCell(ps, "c", 24, 16, rng)
+	x := mat.RandNormal(1, 24, 0, 1, rng)
+	t := nn.NewTape()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset()
+		h, c := cell.InitState(t)
+		cell.Step(t, t.Constant(x), h, c)
+	}
+}
+
+// BiLSTMList20 measures a bidirectional LSTM encoding of a 20-item list on
+// a reused tape.
+func BiLSTMList20(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ps := nn.NewParamSet()
+	bi := nn.NewBiLSTM(ps, "b", 30, 16, rng)
+	seq := mat.RandNormal(20, 30, 0, 1, rng)
+	t := nn.NewTape()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset()
+		bi.Forward(t, t.Constant(seq))
+	}
+}
+
+// RAPIDInference measures one full RAPID forward pass over a 20-item list —
+// the quantity the paper's efficiency analysis (Section V-B) bounds by
+// ~50 ms.
+func RAPIDInference(b *testing.B) {
+	cfg := dataset.TaobaoLike(1).Scaled(0.05)
+	d := dataset.MustGenerate(cfg)
+	opt := tableOptions(1)
+	rng := rand.New(rand.NewSource(4))
+	pool := d.RerankPools[0]
+	items := pool.Candidates[:cfg.ListLen]
+	scores := make([]float64, len(items))
+	req := dataset.Request{User: pool.User, Items: items, InitScores: scores}
+	inst := rerank.NewInstance(d, req, rng)
+	env := &experiments.Env{Data: d}
+	m := experiments.NewRAPID(env, opt, 1, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Scores(inst)
+	}
+}
+
+// DPPGreedyMAP measures the DPP baseline's greedy MAP selection.
+func DPPGreedyMAP(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	base := mat.RandNormal(20, 8, 0, 1, rng)
+	kernel := base.MatMul(base.T())
+	for i := 0; i < 20; i++ {
+		kernel.Set(i, i, kernel.At(i, i)+0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baselines.GreedyMAP(kernel, 10)
+	}
+}
+
+// MarginalDiversity measures the coverage-gain computation shared by RAPID
+// and the diversity metrics.
+func MarginalDiversity(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	cover := make([][]float64, 20)
+	for i := range cover {
+		c := make([]float64, 20)
+		for j := range c {
+			c[j] = rng.Float64() * 0.3
+		}
+		cover[i] = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMD = topics.MarginalDiversity(cover, 20)
+	}
+}
+
+var sinkMD [][]float64
+
+const (
+	trainBenchInstances = 60
+	trainBenchEpochs    = 3
+)
+
+// TrainListwise measures end-to-end RAPID-pro training (forward, backward,
+// Adam) over a fixed synthetic set — the trainer hot path the data-parallel
+// refactor targets. It reports train-instances/sec alongside ns/op.
+func TrainListwise(b *testing.B) {
+	cfg := dataset.TaobaoLike(9).Scaled(0.05)
+	d := dataset.MustGenerate(cfg)
+	rng := rand.New(rand.NewSource(9))
+	train := make([]*rerank.Instance, trainBenchInstances)
+	for i := range train {
+		pool := d.RerankPools[i%len(d.RerankPools)]
+		items := append([]int(nil), pool.Candidates[:cfg.ListLen]...)
+		req := dataset.Request{User: pool.User, Items: items, InitScores: make([]float64, len(items))}
+		req.Clicks = make([]bool, len(items))
+		for k := range req.Clicks {
+			req.Clicks[k] = rng.Float64() < d.Relevance(pool.User, items[k])
+		}
+		train[i] = rerank.NewInstance(d, req, rng)
+	}
+	env := &experiments.Env{Data: d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := experiments.NewRAPID(env, tableOptions(int64(9+i)), int64(i), nil)
+		m.TrainCfg = rerank.TrainConfig{
+			Epochs: trainBenchEpochs, LR: 0.005, BatchSize: 8, ClipNorm: 5, Seed: int64(9 + i),
+		}
+		if err := m.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*trainBenchInstances*trainBenchEpochs)/b.Elapsed().Seconds(), "instances/s")
+}
+
+// tableScale keeps one experiment iteration in the tens of seconds.
+const tableScale = 0.08
+
+func tableOptions(seed int64) experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Scale = tableScale
+	opt.Seed = seed
+	opt.Epochs = 4
+	return opt
+}
+
+// Table2a runs the complete Table II(a) experiment — dataset generation,
+// initial-ranker training, click simulation, re-ranker training for RAPID
+// and every baseline, evaluation — once per op.
+func Table2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(0.5, tableOptions(int64(42+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -128,6 +128,10 @@ type Model struct {
 
 	divFn topics.DiversityFunction
 	noise *rand.Rand
+	// preNoise holds the ξ vectors pre-drawn by PrepareInstance for the
+	// parallel trainer. It is written only between batches (on the trainer
+	// goroutine) and read by Logits inside the batch, so no lock is needed.
+	preNoise map[*rerank.Instance]*mat.Matrix
 	// TrainCfg is used by Fit; zero value means rerank.DefaultTrainConfig.
 	TrainCfg rerank.TrainConfig
 }
@@ -277,14 +281,60 @@ func (m *Model) Logits(t *nn.Tape, inst *rerank.Instance, train bool) *nn.Node {
 	sigma := t.Softplus(m.headSigma.Forward(t, z))
 	if train {
 		// Reparameterization trick (Eq. 9): φ = μ + ξ·Σ, ξ ~ N(0,1).
-		xi := mat.New(inst.L(), 1)
-		for i := range xi.Data {
-			xi.Data[i] = m.noise.NormFloat64()
+		// Under the parallel trainer ξ was pre-drawn by PrepareInstance on
+		// the trainer goroutine; drawing here is the single-threaded
+		// fallback (direct Logits calls outside TrainListwise).
+		xi := m.preNoise[inst]
+		if xi == nil || xi.Rows != inst.L() {
+			xi = mat.New(inst.L(), 1)
+			for i := range xi.Data {
+				xi.Data[i] = m.noise.NormFloat64()
+			}
 		}
 		return t.Add(mu, t.Mul(t.Constant(xi), sigma))
 	}
 	// UCB inference (Eq. 10): φ = μ + Σ.
 	return t.Add(mu, sigma)
+}
+
+// PrepareInstance implements rerank.BatchPreparer: it draws the instance's
+// reparameterization noise ξ from the model's RNG ahead of the concurrent
+// forward passes. The trainer calls it sequentially in batch order, so the
+// noise stream is consumed in a deterministic order no matter how many
+// workers later evaluate the batch, and Logits stays read-only.
+func (m *Model) PrepareInstance(inst *rerank.Instance) {
+	if m.Cfg.Output != Probabilistic {
+		return
+	}
+	if m.preNoise == nil {
+		m.preNoise = make(map[*rerank.Instance]*mat.Matrix)
+	}
+	xi := m.preNoise[inst]
+	if xi == nil || xi.Rows != inst.L() {
+		xi = mat.New(inst.L(), 1)
+		m.preNoise[inst] = xi
+	}
+	for i := range xi.Data {
+		xi.Data[i] = m.noise.NormFloat64()
+	}
+}
+
+// TapeCapHint implements rerank.TapeSized: a generous estimate of the tape
+// nodes one Logits call records, so trainer tapes never grow mid-pass. The
+// dominant terms are the encoder recurrence over the list and the per-topic
+// behavior recurrences.
+func (m *Model) TapeCapHint() int {
+	const maxList = 64 // harness lists are ≤ ~50 items
+	n := 128           // heads, fusion, loss
+	if m.Cfg.Encoder == BiLSTMEncoder {
+		n += 2 * maxList * 20
+	} else {
+		n += 40 * m.Cfg.Heads
+	}
+	if m.Cfg.UseDiversity {
+		n += m.Cfg.Topics*(m.Cfg.D*20+8) + 64
+	}
+	return n
 }
 
 // Fit implements rerank.Trainable.

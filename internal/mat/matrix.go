@@ -177,27 +177,102 @@ func (m *Matrix) AddScaledInPlace(s float64, n *Matrix) *Matrix {
 }
 
 // MatMul returns the matrix product m·n. It panics unless m.Cols == n.Rows.
-// The kernel is the classic ikj loop order, which keeps the inner loop
-// streaming over contiguous rows of n and out.
 func (m *Matrix) MatMul(n *Matrix) *Matrix {
-	if m.Cols != n.Rows {
-		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
-	}
 	out := New(m.Rows, n.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*n.Cols : (i+1)*n.Cols]
-		for k, mv := range mrow {
-			if mv == 0 {
-				continue
+	MatMulInto(out, m, n)
+	return out
+}
+
+// MatMulInto computes out = a·b, overwriting out. out must be a.Rows×b.Cols
+// and must not alias a or b. The kernel is a register-blocked ikj loop: four
+// rows of b are folded per pass over the output row, so each out element is
+// loaded and stored once per four multiply-adds while all three operands
+// stream through contiguous memory. The data here is dense (features,
+// activations, gradients), so there is deliberately no zero-skip branch in
+// the inner loop: on dense inputs the branch misprediction costs more than
+// the skipped arithmetic saves.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulInto output %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	ac, bc := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*ac : (i+1)*ac]
+		orow := out.Data[i*bc : (i+1)*bc]
+		for j := range orow {
+			orow[j] = 0
+		}
+		k := 0
+		for ; k+4 <= ac; k += 4 {
+			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := b.Data[k*bc : k*bc+bc]
+			b1 := b.Data[(k+1)*bc : (k+1)*bc+bc]
+			b2 := b.Data[(k+2)*bc : (k+2)*bc+bc]
+			b3 := b.Data[(k+3)*bc : (k+3)*bc+bc]
+			for j, o := range orow {
+				orow[j] = o + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
-			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
-			for j, nv := range nrow {
-				orow[j] += mv * nv
+		}
+		for ; k < ac; k++ {
+			av := arow[k]
+			brow := b.Data[k*bc : k*bc+bc]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
 	}
-	return out
+}
+
+// AddMatMulABT accumulates a·bᵀ into out: out (r×k) += a (r×c) · bᵀ (c×k,
+// given as b k×c). This is the dA = dOut·Bᵀ half of the MatMul backward
+// pass, fused so the transpose is never materialized: each output element
+// is a dot product of two contiguous rows.
+func AddMatMulABT(out, a, b *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: AddMatMulABT shapes %dx%d += %dx%d · (%dx%d)ᵀ", out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*c : (i+1)*c]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for kk := range orow {
+			brow := b.Data[kk*c : kk*c+c]
+			var s0, s1 float64
+			j := 0
+			for ; j+2 <= c; j += 2 {
+				s0 += arow[j] * brow[j]
+				s1 += arow[j+1] * brow[j+1]
+			}
+			if j < c {
+				s0 += arow[j] * brow[j]
+			}
+			orow[kk] += s0 + s1
+		}
+	}
+}
+
+// AddMatMulATB accumulates aᵀ·b into out: out (k×c) += aᵀ (k×r, given as a
+// r×k) · b (r×c). This is the dB = Aᵀ·dOut half of the MatMul backward
+// pass, fused so the transpose is never materialized: the inner loop is an
+// axpy over contiguous rows of b and out.
+func AddMatMulATB(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: AddMatMulATB shapes %dx%d += (%dx%d)ᵀ · %dx%d", out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	bc := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*bc : i*bc+bc]
+		for kk, av := range arow {
+			orow := out.Data[kk*bc : kk*bc+bc]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
 }
 
 // T returns the transpose of m.

@@ -1,0 +1,57 @@
+package mat
+
+// Pool is a size-keyed free-list of matrices. It exists so hot paths that
+// burn through short-lived matrices (the autodiff tape's forward values,
+// gradient buffers and backward temporaries) can recycle backing storage
+// instead of churning the garbage collector.
+//
+// Ownership rules (see DESIGN.md "Buffer ownership"):
+//
+//   - A Pool is NOT safe for concurrent use. Each goroutine that recycles
+//     matrices owns its own Pool (in practice: one per nn.Tape, and a Tape
+//     is single-goroutine by contract).
+//   - Put transfers ownership of the matrix AND its backing slice to the
+//     pool; the caller must not retain any reference to either.
+//   - Get returns a matrix with the requested shape and UNSPECIFIED
+//     contents. Callers that need zeros must clear it (or use GetZeroed).
+//
+// Matrices are keyed by element count, not shape: a recycled 4×6 buffer can
+// be handed back as 3×8. The zero value is ready to use.
+type Pool struct {
+	free map[int][]*Matrix
+}
+
+// Get returns a rows×cols matrix with unspecified contents, recycling a
+// previously Put buffer of the same element count when one is available.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	if l := p.free[n]; len(l) > 0 {
+		m := l[len(l)-1]
+		p.free[n] = l[:len(l)-1]
+		m.Rows, m.Cols = rows, cols
+		return m
+	}
+	return New(rows, cols)
+}
+
+// GetZeroed returns a zero-filled rows×cols matrix from the pool.
+func (p *Pool) GetZeroed(rows, cols int) *Matrix {
+	m := p.Get(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Put returns m to the free-list. m must not be used by the caller again.
+// Nil matrices are ignored.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	if p.free == nil {
+		p.free = make(map[int][]*Matrix)
+	}
+	n := len(m.Data)
+	p.free[n] = append(p.free[n], m)
+}

@@ -10,6 +10,20 @@
 //	loss := tape.SigmoidBCE(out, targets)
 //	tape.Backward(loss)        // accumulates into Param.Grad
 //	optimizer.Step(params)     // consumes and zeroes the gradients
+//
+// Hot paths reuse one tape across many forward/backward passes:
+//
+//	tape := nn.NewTapeCap(model.TapeCapHint())
+//	for _, inst := range instances {
+//		tape.Reset() // recycles every buffer the previous pass created
+//		...
+//	}
+//
+// A Tape owns the Value and Grad buffers of every non-leaf node it creates;
+// Reset returns them to a size-keyed free-list (mat.Pool), so a reused tape
+// runs its steady state with almost no allocation. Matrices passed to
+// Constant remain caller-owned and are never recycled. See DESIGN.md
+// "Buffer ownership".
 package nn
 
 import (
@@ -19,42 +33,184 @@ import (
 	"repro/internal/mat"
 )
 
-// Node is one value in the computation graph. Value is the forward result;
-// Grad accumulates ∂loss/∂Value during Backward. For parameter nodes Grad
-// aliases the owning Param's gradient so that repeated forward passes
-// accumulate into the same buffer.
+// opKind tags a node with the operation that produced it. Backward is a
+// single switch over this tag — no per-node closures, so building a graph
+// allocates nothing beyond the node arena and the pooled matrices.
+type opKind uint8
+
+const (
+	opConst opKind = iota // leaf: caller-owned value, no gradient
+	opUse                 // leaf: parameter; Grad aliases the Param's buffer
+	opAdd
+	opSub
+	opMul
+	opScale
+	opMatMul
+	opTranspose
+	opAddRowB
+	opConcatCols
+	opConcatRows
+	opSliceCols
+	opSliceRows
+	opSigmoid
+	opTanh
+	opReLU
+	opSoftplus
+	opSoftmaxRows
+	opSum
+	opMean
+	opMeanRows
+	opBCE
+	opSoftmaxCE
+	opLayerNorm
+)
+
+// Node is one value in the computation graph. Value is the forward result.
+// Grad accumulates ∂loss/∂Value during Backward; it is allocated lazily the
+// first time a consumer propagates into it, so nodes whose gradient nothing
+// needs (constants, dead branches) never pay for a buffer. For parameter
+// nodes Grad aliases the owning Param's gradient (or its GradShadow slot)
+// so repeated passes accumulate into the same buffer.
 type Node struct {
 	Value *mat.Matrix
 	Grad  *mat.Matrix
-	back  func() // propagates this node's Grad into its inputs; nil for leaves
+
+	op        opKind
+	needsGrad bool
+	a, b, c   *Node   // fixed-arity inputs
+	ins       []*Node // variadic inputs (concat ops)
+	i0, i1    int     // slice bounds / class target
+	f0        float64 // scale factor / 1/n / log-sum-exp
+	aux, aux2 *mat.Matrix
+	ts        []float64 // BCE targets (caller-owned, read-only)
 }
+
+// tapeChunk is the node-arena chunk size. Chunks keep node pointers stable
+// while the tape grows (a flat slice would move nodes on append).
+const tapeChunk = 256
 
 // Tape records nodes in topological (creation) order so Backward can run a
-// single reverse sweep. A Tape is cheap; create a fresh one per forward pass.
+// single reverse sweep. A Tape is single-goroutine; concurrent training
+// gives each worker its own tape. Create one per model and Reset it between
+// passes — Reset recycles all tape-owned buffers, so steady-state forward/
+// backward passes are nearly allocation-free.
 type Tape struct {
-	nodes []*Node
+	nodes  []*Node
+	chunks [][]Node
+	used   int
+	refs   []*Node
+	pool   mat.Pool
+	grads  *GradShadow
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{nodes: make([]*Node, 0, 256)} }
+// NewTape returns an empty tape with a default capacity hint.
+func NewTape() *Tape { return NewTapeCap(tapeChunk) }
 
-func (t *Tape) newNode(v *mat.Matrix, back func()) *Node {
-	n := &Node{Value: v, Grad: mat.New(v.Rows, v.Cols), back: back}
+// NewTapeCap returns an empty tape pre-sized for about n nodes, eliminating
+// arena and index growth during the first passes. Models that know their
+// per-instance graph size (see rerank.TapeSized) pass their estimate here.
+func NewTapeCap(n int) *Tape {
+	if n < 1 {
+		n = 1
+	}
+	const maxPrealloc = 1 << 16
+	if n > maxPrealloc {
+		n = maxPrealloc
+	}
+	t := &Tape{nodes: make([]*Node, 0, n)}
+	for c := 0; c < (n+tapeChunk-1)/tapeChunk; c++ {
+		t.chunks = append(t.chunks, make([]Node, tapeChunk))
+	}
+	return t
+}
+
+// NumNodes returns the number of nodes recorded since the last Reset.
+// Models use it to calibrate NewTapeCap hints.
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+// WithGrads redirects the gradients of every parameter subsequently
+// introduced by Use to the given shadow instead of the Param's own buffer.
+// Parallel trainers give each accumulation slot its own shadow so backward
+// passes on different goroutines never touch shared memory; pass nil to
+// restore direct accumulation. Must not be called between building a graph
+// and running its Backward.
+func (t *Tape) WithGrads(gs *GradShadow) { t.grads = gs }
+
+// Reset clears the tape for a fresh forward pass, recycling every
+// tape-owned Value/Grad/auxiliary buffer into the tape's free-list. All
+// nodes and matrices obtained from this tape before the call — including
+// node Values — are invalid afterwards; copy anything that must survive.
+func (t *Tape) Reset() {
+	for _, n := range t.nodes {
+		switch n.op {
+		case opConst, opUse:
+			// Value (and for opUse, Grad) owned by the caller or Param.
+		default:
+			t.pool.Put(n.Value)
+			t.pool.Put(n.Grad)
+			t.pool.Put(n.aux)
+			t.pool.Put(n.aux2)
+		}
+	}
+	t.nodes = t.nodes[:0]
+	t.refs = t.refs[:0]
+	t.used = 0
+}
+
+// alloc carves a node out of the arena and records it on the tape.
+func (t *Tape) alloc(v *mat.Matrix, op opKind, needs bool) *Node {
+	ci, off := t.used/tapeChunk, t.used%tapeChunk
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Node, tapeChunk))
+	}
+	n := &t.chunks[ci][off]
+	t.used++
+	*n = Node{Value: v, op: op, needsGrad: needs}
 	t.nodes = append(t.nodes, n)
 	return n
 }
 
-// Constant wraps a matrix that requires no gradient. Backward still flows
-// into its Grad buffer (harmlessly) but nothing reads it.
+// saveRefs copies a variadic input list into the tape's pointer arena so
+// concat nodes don't retain caller slices. The full slice expression caps
+// the result, keeping it immune to later arena growth.
+func (t *Tape) saveRefs(ns []*Node) []*Node {
+	start := len(t.refs)
+	t.refs = append(t.refs, ns...)
+	return t.refs[start:len(t.refs):len(t.refs)]
+}
+
+// sameShapeOrPanic guards element-wise ops against shape mismatches.
+func sameShapeOrPanic(a, b *mat.Matrix, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("%s: shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// gradOf returns n's gradient buffer, lazily allocating a zeroed one.
+func (t *Tape) gradOf(n *Node) *mat.Matrix {
+	if n.Grad == nil {
+		n.Grad = t.pool.GetZeroed(n.Value.Rows, n.Value.Cols)
+	}
+	return n.Grad
+}
+
+// Constant wraps a matrix that requires no gradient. The matrix remains
+// caller-owned: Reset never recycles it. No gradient buffer is ever
+// allocated for a constant, and backward steps skip it entirely.
 func (t *Tape) Constant(v *mat.Matrix) *Node {
-	return t.newNode(v, nil)
+	return t.alloc(v, opConst, false)
 }
 
 // Use introduces parameter p into the graph. The returned node's gradient
-// buffer is p.Grad itself, so Backward accumulates directly into the param.
+// buffer is p.Grad itself (or the tape's GradShadow slot for p, when one is
+// installed), so Backward accumulates directly into the param.
 func (t *Tape) Use(p *Param) *Node {
-	n := &Node{Value: p.Value, Grad: p.Grad, back: nil}
-	t.nodes = append(t.nodes, n)
+	n := t.alloc(p.Value, opUse, true)
+	if t.grads != nil {
+		n.Grad = t.grads.Grad(p)
+	} else {
+		n.Grad = p.Grad
+	}
 	return n
 }
 
@@ -64,70 +220,316 @@ func (t *Tape) Backward(loss *Node) {
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("nn: Backward target must be 1x1, got %dx%d", loss.Value.Rows, loss.Value.Cols))
 	}
-	loss.Grad.Data[0] = 1
+	t.gradOf(loss).Data[0] = 1
 	for i := len(t.nodes) - 1; i >= 0; i-- {
-		if n := t.nodes[i]; n.back != nil {
-			n.back()
+		n := t.nodes[i]
+		// Leaves have nothing to propagate; a nil Grad means no consumer
+		// contributed anything (dead branch), so the node's gradient is an
+		// all-zero no-op.
+		if n.op <= opUse || !n.needsGrad || n.Grad == nil {
+			continue
 		}
+		t.backstep(n)
+	}
+}
+
+// backstep propagates n.Grad into n's inputs.
+func (t *Tape) backstep(n *Node) {
+	g := n.Grad
+	switch n.op {
+	case opAdd:
+		if n.a.needsGrad {
+			t.gradOf(n.a).AddInPlace(g)
+		}
+		if n.b.needsGrad {
+			t.gradOf(n.b).AddInPlace(g)
+		}
+	case opSub:
+		if n.a.needsGrad {
+			t.gradOf(n.a).AddInPlace(g)
+		}
+		if n.b.needsGrad {
+			t.gradOf(n.b).AddScaledInPlace(-1, g)
+		}
+	case opMul:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			bv := n.b.Value.Data
+			for i, gv := range g.Data {
+				ga.Data[i] += gv * bv[i]
+			}
+		}
+		if n.b.needsGrad {
+			gb := t.gradOf(n.b)
+			av := n.a.Value.Data
+			for i, gv := range g.Data {
+				gb.Data[i] += gv * av[i]
+			}
+		}
+	case opScale:
+		if n.a.needsGrad {
+			t.gradOf(n.a).AddScaledInPlace(n.f0, g)
+		}
+	case opMatMul:
+		// dA += dOut·Bᵀ ; dB += Aᵀ·dOut — fused, no transpose materialized.
+		if n.a.needsGrad {
+			mat.AddMatMulABT(t.gradOf(n.a), g, n.b.Value)
+		}
+		if n.b.needsGrad {
+			mat.AddMatMulATB(t.gradOf(n.b), n.a.Value, g)
+		}
+	case opTranspose:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			rows, cols := ga.Rows, ga.Cols
+			for i := 0; i < rows; i++ {
+				arow := ga.Data[i*cols : (i+1)*cols]
+				for j := range arow {
+					arow[j] += g.Data[j*rows+i]
+				}
+			}
+		}
+	case opAddRowB:
+		if n.a.needsGrad {
+			t.gradOf(n.a).AddInPlace(g)
+		}
+		if n.b.needsGrad {
+			gb := t.gradOf(n.b)
+			for i := 0; i < g.Rows; i++ {
+				row := g.Row(i)
+				for j, gv := range row {
+					gb.Data[j] += gv
+				}
+			}
+		}
+	case opConcatCols:
+		off := 0
+		for _, in := range n.ins {
+			if in.needsGrad {
+				gi := t.gradOf(in)
+				for i := 0; i < in.Value.Rows; i++ {
+					grow := g.Row(i)[off : off+in.Value.Cols]
+					irow := gi.Row(i)
+					for j, gv := range grow {
+						irow[j] += gv
+					}
+				}
+			}
+			off += in.Value.Cols
+		}
+	case opConcatRows:
+		off := 0
+		for _, in := range n.ins {
+			sz := len(in.Value.Data)
+			if in.needsGrad {
+				gi := t.gradOf(in)
+				src := g.Data[off : off+sz]
+				for j, gv := range src {
+					gi.Data[j] += gv
+				}
+			}
+			off += sz
+		}
+	case opSliceCols:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			from := n.i0
+			for i := 0; i < g.Rows; i++ {
+				grow := g.Row(i)
+				arow := ga.Row(i)
+				for j, gv := range grow {
+					arow[from+j] += gv
+				}
+			}
+		}
+	case opSliceRows:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			from := n.i0
+			cols := ga.Cols
+			for i := 0; i < g.Rows; i++ {
+				grow := g.Row(i)
+				arow := ga.Data[(from+i)*cols : (from+i+1)*cols]
+				for j, gv := range grow {
+					arow[j] += gv
+				}
+			}
+		}
+	case opSigmoid:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			for i, y := range n.Value.Data {
+				ga.Data[i] += g.Data[i] * y * (1 - y)
+			}
+		}
+	case opTanh:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			for i, y := range n.Value.Data {
+				ga.Data[i] += g.Data[i] * (1 - y*y)
+			}
+		}
+	case opReLU:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			for i, x := range n.a.Value.Data {
+				if x > 0 {
+					ga.Data[i] += g.Data[i]
+				}
+			}
+		}
+	case opSoftplus:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			for i, x := range n.a.Value.Data {
+				ga.Data[i] += g.Data[i] * mat.Sigmoid(x)
+			}
+		}
+	case opSoftmaxRows:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			v := n.Value
+			// For each row: dx_j = y_j (dy_j − Σ_k dy_k y_k).
+			for i := 0; i < v.Rows; i++ {
+				yrow := v.Row(i)
+				gyrow := g.Row(i)
+				garow := ga.Row(i)
+				var dot float64
+				for k, y := range yrow {
+					dot += gyrow[k] * y
+				}
+				for j, y := range yrow {
+					garow[j] += y * (gyrow[j] - dot)
+				}
+			}
+		}
+	case opSum:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			g0 := g.Data[0]
+			for i := range ga.Data {
+				ga.Data[i] += g0
+			}
+		}
+	case opMean:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			g0 := g.Data[0] * n.f0
+			for i := range ga.Data {
+				ga.Data[i] += g0
+			}
+		}
+	case opMeanRows:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			inv := n.f0
+			for i := 0; i < ga.Rows; i++ {
+				arow := ga.Row(i)
+				for j, gv := range g.Data {
+					arow[j] += gv * inv
+				}
+			}
+		}
+	case opBCE:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			g0 := g.Data[0] * n.f0
+			lv := n.a.Value.Data
+			for i, y := range n.ts {
+				ga.Data[i] += g0 * (mat.Sigmoid(lv[i]) - y)
+			}
+		}
+	case opSoftmaxCE:
+		if n.a.needsGrad {
+			ga := t.gradOf(n.a)
+			g0 := g.Data[0]
+			lse := n.f0
+			for j, v := range n.a.Value.Data {
+				p := math.Exp(v - lse)
+				if j == n.i0 {
+					p -= 1
+				}
+				ga.Data[j] += g0 * p
+			}
+		}
+	case opLayerNorm:
+		t.backLayerNorm(n)
+	default:
+		panic(fmt.Sprintf("nn: backstep on unexpected op %d", n.op))
 	}
 }
 
 // Add returns a + b.
 func (t *Tape) Add(a, b *Node) *Node {
-	out := t.newNode(a.Value.Add(b.Value), nil)
-	out.back = func() {
-		a.Grad.AddInPlace(out.Grad)
-		b.Grad.AddInPlace(out.Grad)
+	sameShapeOrPanic(a.Value, b.Value, "nn: Add")
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	bd := b.Value.Data
+	for i, av := range a.Value.Data {
+		v.Data[i] = av + bd[i]
 	}
+	out := t.alloc(v, opAdd, a.needsGrad || b.needsGrad)
+	out.a, out.b = a, b
 	return out
 }
 
 // Sub returns a − b.
 func (t *Tape) Sub(a, b *Node) *Node {
-	out := t.newNode(a.Value.Sub(b.Value), nil)
-	out.back = func() {
-		a.Grad.AddInPlace(out.Grad)
-		b.Grad.AddScaledInPlace(-1, out.Grad)
+	sameShapeOrPanic(a.Value, b.Value, "nn: Sub")
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	bd := b.Value.Data
+	for i, av := range a.Value.Data {
+		v.Data[i] = av - bd[i]
 	}
+	out := t.alloc(v, opSub, a.needsGrad || b.needsGrad)
+	out.a, out.b = a, b
 	return out
 }
 
 // Mul returns the element-wise product a ⊙ b.
 func (t *Tape) Mul(a, b *Node) *Node {
-	out := t.newNode(a.Value.MulElem(b.Value), nil)
-	out.back = func() {
-		a.Grad.AddInPlace(out.Grad.MulElem(b.Value))
-		b.Grad.AddInPlace(out.Grad.MulElem(a.Value))
+	sameShapeOrPanic(a.Value, b.Value, "nn: Mul")
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	bd := b.Value.Data
+	for i, av := range a.Value.Data {
+		v.Data[i] = av * bd[i]
 	}
+	out := t.alloc(v, opMul, a.needsGrad || b.needsGrad)
+	out.a, out.b = a, b
 	return out
 }
 
 // Scale returns s·a for a fixed scalar s.
 func (t *Tape) Scale(a *Node, s float64) *Node {
-	out := t.newNode(a.Value.Scale(s), nil)
-	out.back = func() {
-		a.Grad.AddScaledInPlace(s, out.Grad)
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	for i, av := range a.Value.Data {
+		v.Data[i] = s * av
 	}
+	out := t.alloc(v, opScale, a.needsGrad)
+	out.a, out.f0 = a, s
 	return out
 }
 
 // MatMul returns the matrix product a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := t.newNode(a.Value.MatMul(b.Value), nil)
-	out.back = func() {
-		// dA = dOut · Bᵀ ; dB = Aᵀ · dOut
-		a.Grad.AddInPlace(out.Grad.MatMul(b.Value.T()))
-		b.Grad.AddInPlace(a.Value.T().MatMul(out.Grad))
-	}
+	v := t.pool.Get(a.Value.Rows, b.Value.Cols)
+	mat.MatMulInto(v, a.Value, b.Value)
+	out := t.alloc(v, opMatMul, a.needsGrad || b.needsGrad)
+	out.a, out.b = a, b
 	return out
 }
 
 // Transpose returns aᵀ.
 func (t *Tape) Transpose(a *Node) *Node {
-	out := t.newNode(a.Value.T(), nil)
-	out.back = func() {
-		a.Grad.AddInPlace(out.Grad.T())
+	av := a.Value
+	v := t.pool.Get(av.Cols, av.Rows)
+	for i := 0; i < av.Rows; i++ {
+		row := av.Data[i*av.Cols : (i+1)*av.Cols]
+		for j, x := range row {
+			v.Data[j*av.Rows+i] = x
+		}
 	}
+	out := t.alloc(v, opTranspose, a.needsGrad)
+	out.a = a
 	return out
 }
 
@@ -137,140 +539,131 @@ func (t *Tape) AddRowBroadcast(a, b *Node) *Node {
 	if b.Value.Rows != 1 || b.Value.Cols != a.Value.Cols {
 		panic(fmt.Sprintf("nn: AddRowBroadcast wants 1x%d bias, got %dx%d", a.Value.Cols, b.Value.Rows, b.Value.Cols))
 	}
-	v := a.Value.Clone()
-	for i := 0; i < v.Rows; i++ {
-		row := v.Row(i)
-		for j, bv := range b.Value.Data {
-			row[j] += bv
+	av := a.Value
+	v := t.pool.Get(av.Rows, av.Cols)
+	bd := b.Value.Data
+	for i := 0; i < av.Rows; i++ {
+		arow := av.Data[i*av.Cols : (i+1)*av.Cols]
+		vrow := v.Data[i*av.Cols : (i+1)*av.Cols]
+		for j, x := range arow {
+			vrow[j] = x + bd[j]
 		}
 	}
-	out := t.newNode(v, nil)
-	out.back = func() {
-		a.Grad.AddInPlace(out.Grad)
-		for i := 0; i < out.Grad.Rows; i++ {
-			row := out.Grad.Row(i)
-			for j, g := range row {
-				b.Grad.Data[j] += g
-			}
-		}
-	}
+	out := t.alloc(v, opAddRowB, a.needsGrad || b.needsGrad)
+	out.a, out.b = a, b
 	return out
 }
 
 // ConcatCols concatenates nodes horizontally: [a | b | …].
 func (t *Tape) ConcatCols(ns ...*Node) *Node {
-	vals := make([]*mat.Matrix, len(ns))
+	rows, cols, needs := 0, 0, false
 	for i, n := range ns {
-		vals[i] = n.Value
+		if i == 0 {
+			rows = n.Value.Rows
+		} else if n.Value.Rows != rows {
+			panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", n.Value.Rows, rows))
+		}
+		cols += n.Value.Cols
+		needs = needs || n.needsGrad
 	}
-	out := t.newNode(mat.ConcatCols(vals...), nil)
-	out.back = func() {
-		off := 0
+	v := t.pool.Get(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := i * cols
 		for _, n := range ns {
-			for i := 0; i < n.Value.Rows; i++ {
-				grow := out.Grad.Row(i)[off : off+n.Value.Cols]
-				nrow := n.Grad.Row(i)
-				for j, g := range grow {
-					nrow[j] += g
-				}
-			}
+			copy(v.Data[off:off+n.Value.Cols], n.Value.Row(i))
 			off += n.Value.Cols
 		}
 	}
+	out := t.alloc(v, opConcatCols, needs)
+	out.ins = t.saveRefs(ns)
 	return out
 }
 
 // ConcatRows concatenates nodes vertically.
 func (t *Tape) ConcatRows(ns ...*Node) *Node {
-	vals := make([]*mat.Matrix, len(ns))
+	rows, cols, needs := 0, 0, false
 	for i, n := range ns {
-		vals[i] = n.Value
-	}
-	out := t.newNode(mat.ConcatRows(vals...), nil)
-	out.back = func() {
-		off := 0
-		for _, n := range ns {
-			sz := len(n.Value.Data)
-			for j := 0; j < sz; j++ {
-				n.Grad.Data[j] += out.Grad.Data[off+j]
-			}
-			off += sz
+		if i == 0 {
+			cols = n.Value.Cols
+		} else if n.Value.Cols != cols {
+			panic(fmt.Sprintf("nn: ConcatRows col mismatch %d vs %d", n.Value.Cols, cols))
 		}
+		rows += n.Value.Rows
+		needs = needs || n.needsGrad
 	}
+	v := t.pool.Get(rows, cols)
+	off := 0
+	for _, n := range ns {
+		copy(v.Data[off:off+len(n.Value.Data)], n.Value.Data)
+		off += len(n.Value.Data)
+	}
+	out := t.alloc(v, opConcatRows, needs)
+	out.ins = t.saveRefs(ns)
 	return out
 }
 
 // SliceCols returns columns [from, to) of a as a new node.
 func (t *Tape) SliceCols(a *Node, from, to int) *Node {
-	out := t.newNode(a.Value.SliceCols(from, to), nil)
-	out.back = func() {
-		for i := 0; i < out.Grad.Rows; i++ {
-			grow := out.Grad.Row(i)
-			arow := a.Grad.Row(i)
-			for j, g := range grow {
-				arow[from+j] += g
-			}
-		}
+	av := a.Value
+	if from < 0 || to > av.Cols || from > to {
+		panic(fmt.Sprintf("nn: SliceCols [%d,%d) out of range for %d cols", from, to, av.Cols))
 	}
+	v := t.pool.Get(av.Rows, to-from)
+	for i := 0; i < av.Rows; i++ {
+		copy(v.Row(i), av.Row(i)[from:to])
+	}
+	out := t.alloc(v, opSliceCols, a.needsGrad)
+	out.a, out.i0, out.i1 = a, from, to
 	return out
 }
 
 // SliceRows returns rows [from, to) of a as a new node.
 func (t *Tape) SliceRows(a *Node, from, to int) *Node {
-	out := t.newNode(a.Value.SliceRows(from, to), nil)
-	out.back = func() {
-		cols := a.Value.Cols
-		for i := 0; i < out.Grad.Rows; i++ {
-			grow := out.Grad.Row(i)
-			arow := a.Grad.Data[(from+i)*cols : (from+i+1)*cols]
-			for j, g := range grow {
-				arow[j] += g
-			}
-		}
+	av := a.Value
+	if from < 0 || to > av.Rows || from > to {
+		panic(fmt.Sprintf("nn: SliceRows [%d,%d) out of range for %d rows", from, to, av.Rows))
 	}
+	v := t.pool.Get(to-from, av.Cols)
+	copy(v.Data, av.Data[from*av.Cols:to*av.Cols])
+	out := t.alloc(v, opSliceRows, a.needsGrad)
+	out.a, out.i0, out.i1 = a, from, to
 	return out
 }
 
 // Sigmoid applies the logistic function element-wise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	v := a.Value.Apply(mat.Sigmoid)
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i, y := range v.Data {
-			a.Grad.Data[i] += out.Grad.Data[i] * y * (1 - y)
-		}
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = mat.Sigmoid(x)
 	}
+	out := t.alloc(v, opSigmoid, a.needsGrad)
+	out.a = a
 	return out
 }
 
 // Tanh applies tanh element-wise.
 func (t *Tape) Tanh(a *Node) *Node {
-	v := a.Value.Apply(math.Tanh)
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i, y := range v.Data {
-			a.Grad.Data[i] += out.Grad.Data[i] * (1 - y*y)
-		}
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = math.Tanh(x)
 	}
+	out := t.alloc(v, opTanh, a.needsGrad)
+	out.a = a
 	return out
 }
 
 // ReLU applies max(0, x) element-wise.
 func (t *Tape) ReLU(a *Node) *Node {
-	v := a.Value.Apply(func(x float64) float64 {
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
 		if x > 0 {
-			return x
-		}
-		return 0
-	})
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i, x := range a.Value.Data {
-			if x > 0 {
-				a.Grad.Data[i] += out.Grad.Data[i]
-			}
+			v.Data[i] = x
+		} else {
+			v.Data[i] = 0
 		}
 	}
+	out := t.alloc(v, opReLU, a.needsGrad)
+	out.a = a
 	return out
 }
 
@@ -278,13 +671,12 @@ func (t *Tape) ReLU(a *Node) *Node {
 // is the sigmoid. Used to keep standard deviations positive in the
 // probabilistic re-ranking head.
 func (t *Tape) Softplus(a *Node) *Node {
-	v := a.Value.Apply(softplus)
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i, x := range a.Value.Data {
-			a.Grad.Data[i] += out.Grad.Data[i] * mat.Sigmoid(x)
-		}
+	v := t.pool.Get(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		v.Data[i] = softplus(x)
 	}
+	out := t.alloc(v, opSoftplus, a.needsGrad)
+	out.a = a
 	return out
 }
 
@@ -300,57 +692,57 @@ func softplus(x float64) float64 {
 
 // SoftmaxRows applies a stable softmax to each row of a.
 func (t *Tape) SoftmaxRows(a *Node) *Node {
-	v := a.Value.SoftmaxRows()
-	out := t.newNode(v, nil)
-	out.back = func() {
-		// For each row: dx_j = y_j (dy_j − Σ_k dy_k y_k).
-		for i := 0; i < v.Rows; i++ {
-			yrow := v.Row(i)
-			gyrow := out.Grad.Row(i)
-			garow := a.Grad.Row(i)
-			var dot float64
-			for k, y := range yrow {
-				dot += gyrow[k] * y
-			}
-			for j, y := range yrow {
-				garow[j] += y * (gyrow[j] - dot)
+	av := a.Value
+	v := t.pool.Get(av.Rows, av.Cols)
+	for i := 0; i < av.Rows; i++ {
+		row := av.Row(i)
+		orow := v.Row(i)
+		mx := math.Inf(-1)
+		for _, x := range row {
+			if x > mx {
+				mx = x
 			}
 		}
+		var sum float64
+		for j, x := range row {
+			e := math.Exp(x - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
 	}
+	out := t.alloc(v, opSoftmaxRows, a.needsGrad)
+	out.a = a
 	return out
 }
 
 // Sum reduces a to a 1×1 node containing the sum of its entries.
 func (t *Tape) Sum(a *Node) *Node {
-	out := t.newNode(mat.FromSlice(1, 1, []float64{a.Value.Sum()}), nil)
-	out.back = func() {
-		g := out.Grad.Data[0]
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	}
+	v := t.pool.Get(1, 1)
+	v.Data[0] = a.Value.Sum()
+	out := t.alloc(v, opSum, a.needsGrad)
+	out.a = a
 	return out
 }
 
 // Mean reduces a to a 1×1 node containing the mean of its entries.
 func (t *Tape) Mean(a *Node) *Node {
-	n := float64(len(a.Value.Data))
-	out := t.newNode(mat.FromSlice(1, 1, []float64{a.Value.Mean()}), nil)
-	out.back = func() {
-		g := out.Grad.Data[0] / n
-		for i := range a.Grad.Data {
-			a.Grad.Data[i] += g
-		}
-	}
+	v := t.pool.Get(1, 1)
+	v.Data[0] = a.Value.Mean()
+	out := t.alloc(v, opMean, a.needsGrad)
+	out.a, out.f0 = a, 1/float64(len(a.Value.Data))
 	return out
 }
 
 // MeanRows reduces a R×C node to 1×C by averaging over rows.
 func (t *Tape) MeanRows(a *Node) *Node {
-	r := a.Value.Rows
-	v := mat.New(1, a.Value.Cols)
+	av := a.Value
+	r := av.Rows
+	v := t.pool.GetZeroed(1, av.Cols)
 	for i := 0; i < r; i++ {
-		row := a.Value.Row(i)
+		row := av.Row(i)
 		for j, x := range row {
 			v.Data[j] += x
 		}
@@ -360,21 +752,16 @@ func (t *Tape) MeanRows(a *Node) *Node {
 		inv = 1 / float64(r)
 	}
 	v.ScaleInPlace(inv)
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i := 0; i < r; i++ {
-			arow := a.Grad.Row(i)
-			for j, g := range out.Grad.Data {
-				arow[j] += g * inv
-			}
-		}
-	}
+	out := t.alloc(v, opMeanRows, a.needsGrad)
+	out.a, out.f0 = a, inv
 	return out
 }
 
 // SigmoidBCE computes the mean binary cross-entropy between sigmoid(logits)
 // and targets, where logits is L×1 and targets has length L. The fused form
 // is numerically stable: loss_i = softplus(z_i) − y_i·z_i, d/dz = σ(z) − y.
+// The targets slice is retained (not copied) until the tape is Reset; the
+// caller must not mutate it before Backward.
 func (t *Tape) SigmoidBCE(logits *Node, targets []float64) *Node {
 	l := logits.Value
 	if l.Cols != 1 || l.Rows != len(targets) {
@@ -389,13 +776,10 @@ func (t *Tape) SigmoidBCE(logits *Node, targets []float64) *Node {
 	if n == 0 {
 		n = 1
 	}
-	out := t.newNode(mat.FromSlice(1, 1, []float64{loss / n}), nil)
-	out.back = func() {
-		g := out.Grad.Data[0] / n
-		for i, y := range targets {
-			logits.Grad.Data[i] += g * (mat.Sigmoid(l.Data[i]) - y)
-		}
-	}
+	v := t.pool.Get(1, 1)
+	v.Data[0] = loss / n
+	out := t.alloc(v, opBCE, logits.needsGrad)
+	out.a, out.f0, out.ts = logits, 1/n, targets
 	return out
 }
 
@@ -418,17 +802,10 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, target int) *Node {
 		sum += math.Exp(v - mx)
 	}
 	lse := mx + math.Log(sum)
-	out := t.newNode(mat.FromSlice(1, 1, []float64{lse - row.Data[target]}), nil)
-	out.back = func() {
-		g := out.Grad.Data[0]
-		for j, v := range row.Data {
-			p := math.Exp(v - lse)
-			if j == target {
-				p -= 1
-			}
-			logits.Grad.Data[j] += g * p
-		}
-	}
+	v := t.pool.Get(1, 1)
+	v.Data[0] = lse - row.Data[target]
+	out := t.alloc(v, opSoftmaxCE, logits.needsGrad)
+	out.a, out.i0, out.f0 = logits, target, lse
 	return out
 }
 
@@ -437,9 +814,10 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, target int) *Node {
 func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
 	const eps = 1e-5
 	rows, cols := a.Value.Rows, a.Value.Cols
-	v := mat.New(rows, cols)
-	norm := mat.New(rows, cols) // x̂ before gain/bias, kept for backward
-	invstd := make([]float64, rows)
+	v := t.pool.Get(rows, cols)
+	norm := t.pool.Get(rows, cols)  // x̂ before gain/bias, kept for backward
+	invstd := t.pool.Get(1, rows+1) // row inverse std-devs, kept for backward
+	gd, bd := gain.Value.Data, bias.Value.Data
 	for i := 0; i < rows; i++ {
 		row := a.Value.Row(i)
 		var mu float64
@@ -454,41 +832,69 @@ func (t *Tape) LayerNormRows(a, gain, bias *Node) *Node {
 		}
 		va /= float64(cols)
 		is := 1 / math.Sqrt(va+eps)
-		invstd[i] = is
+		invstd.Data[i] = is
 		nrow := norm.Row(i)
 		vrow := v.Row(i)
 		for j, x := range row {
 			nh := (x - mu) * is
 			nrow[j] = nh
-			vrow[j] = nh*gain.Value.Data[j] + bias.Value.Data[j]
+			vrow[j] = nh*gd[j] + bd[j]
 		}
 	}
-	out := t.newNode(v, nil)
-	out.back = func() {
-		for i := 0; i < rows; i++ {
-			gout := out.Grad.Row(i)
-			nrow := norm.Row(i)
-			// Gradients through gain and bias.
-			for j, g := range gout {
-				gain.Grad.Data[j] += g * nrow[j]
-				bias.Grad.Data[j] += g
-			}
-			// Gradient through normalization:
-			// dx = invstd/C · (C·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂)) with dx̂ = dout·gain.
-			c := float64(cols)
-			var sum, sumxh float64
-			dxh := make([]float64, cols)
-			for j, g := range gout {
-				d := g * gain.Value.Data[j]
-				dxh[j] = d
-				sum += d
-				sumxh += d * nrow[j]
-			}
-			arow := a.Grad.Row(i)
-			for j := range dxh {
-				arow[j] += invstd[i] / c * (c*dxh[j] - sum - nrow[j]*sumxh)
-			}
-		}
-	}
+	out := t.alloc(v, opLayerNorm, a.needsGrad || gain.needsGrad || bias.needsGrad)
+	out.a, out.b, out.c = a, gain, bias
+	out.aux, out.aux2 = norm, invstd
 	return out
+}
+
+// backLayerNorm is the LayerNormRows backward step, split out of the main
+// switch for readability. It borrows one pooled scratch row for dx̂.
+func (t *Tape) backLayerNorm(n *Node) {
+	g := n.Grad
+	a, gain, bias := n.a, n.b, n.c
+	norm, invstd := n.aux, n.aux2
+	rows, cols := norm.Rows, norm.Cols
+	var ggain, gbias *mat.Matrix
+	if gain.needsGrad {
+		ggain = t.gradOf(gain)
+	}
+	if bias.needsGrad {
+		gbias = t.gradOf(bias)
+	}
+	dxh := t.pool.Get(1, cols)
+	for i := 0; i < rows; i++ {
+		gout := g.Row(i)
+		nrow := norm.Row(i)
+		// Gradients through gain and bias.
+		if ggain != nil {
+			for j, gv := range gout {
+				ggain.Data[j] += gv * nrow[j]
+			}
+		}
+		if gbias != nil {
+			for j, gv := range gout {
+				gbias.Data[j] += gv
+			}
+		}
+		if !a.needsGrad {
+			continue
+		}
+		// Gradient through normalization:
+		// dx = invstd/C · (C·dx̂ − Σdx̂ − x̂·Σ(dx̂·x̂)) with dx̂ = dout·gain.
+		c := float64(cols)
+		var sum, sumxh float64
+		gd := gain.Value.Data
+		for j, gv := range gout {
+			d := gv * gd[j]
+			dxh.Data[j] = d
+			sum += d
+			sumxh += d * nrow[j]
+		}
+		arow := t.gradOf(a).Row(i)
+		is := invstd.Data[i]
+		for j := range arow {
+			arow[j] += is / c * (c*dxh.Data[j] - sum - nrow[j]*sumxh)
+		}
+	}
+	t.pool.Put(dxh)
 }

@@ -74,35 +74,37 @@ func (s *ParamSet) Names() []string {
 
 // ZeroGrad clears every parameter's gradient.
 func (s *ParamSet) ZeroGrad() {
-	for _, p := range s.byName {
-		p.ZeroGrad()
+	for _, name := range s.order {
+		s.byName[name].ZeroGrad()
 	}
 }
 
 // NumParams returns the total number of scalar parameters in the set.
 func (s *ParamSet) NumParams() int {
 	n := 0
-	for _, p := range s.byName {
-		n += len(p.Value.Data)
+	for _, name := range s.order {
+		n += len(s.byName[name].Value.Data)
 	}
 	return n
 }
 
 // ClipGradNorm rescales all gradients so their global L2 norm does not
 // exceed maxNorm, the usual stabilizer for recurrent nets. It returns the
-// pre-clip norm.
+// pre-clip norm. Iteration follows registration order, not map order:
+// the norm is a float sum, and summation order must be identical from run
+// to run for same-seed training to be bitwise reproducible.
 func (s *ParamSet) ClipGradNorm(maxNorm float64) float64 {
 	var total float64
-	for _, p := range s.byName {
-		for _, g := range p.Grad.Data {
+	for _, name := range s.order {
+		for _, g := range s.byName[name].Grad.Data {
 			total += g * g
 		}
 	}
 	norm := math.Sqrt(total)
 	if norm > maxNorm && norm > 0 {
 		scale := maxNorm / norm
-		for _, p := range s.byName {
-			p.Grad.ScaleInPlace(scale)
+		for _, name := range s.order {
+			s.byName[name].Grad.ScaleInPlace(scale)
 		}
 	}
 	return norm

@@ -1,0 +1,52 @@
+package nn
+
+import "repro/internal/mat"
+
+// GradShadow is a detached set of gradient buffers mirroring a ParamSet,
+// one zeroed matrix per parameter. The data-parallel trainer gives every
+// gradient-accumulation slot its own shadow: a worker's backward pass
+// accumulates into the slot's shadow (via Tape.WithGrads) instead of the
+// shared Param.Grad buffers, so concurrent backward passes never write the
+// same memory. After a batch the trainer folds the shadows into the real
+// gradients with AddInto in a fixed order, which keeps float summation —
+// and therefore same-seed training — bitwise reproducible regardless of
+// how many workers ran.
+type GradShadow struct {
+	ps    *ParamSet
+	grads map[*Param]*mat.Matrix
+}
+
+// NewGradShadow allocates a zeroed shadow for every parameter in ps.
+func NewGradShadow(ps *ParamSet) *GradShadow {
+	gs := &GradShadow{ps: ps, grads: make(map[*Param]*mat.Matrix, len(ps.order))}
+	for _, p := range ps.All() {
+		gs.grads[p] = mat.New(p.Grad.Rows, p.Grad.Cols)
+	}
+	return gs
+}
+
+// Grad returns the shadow buffer for p, falling back to p.Grad for a
+// parameter that is not part of the mirrored set.
+func (gs *GradShadow) Grad(p *Param) *mat.Matrix {
+	if g, ok := gs.grads[p]; ok {
+		return g
+	}
+	return p.Grad
+}
+
+// Zero clears every shadow buffer.
+func (gs *GradShadow) Zero() {
+	for _, name := range gs.ps.order {
+		gs.grads[gs.ps.byName[name]].Zero()
+	}
+}
+
+// AddInto folds the shadow into the real Param.Grad buffers, iterating
+// parameters in registration order so the accumulation order is the same
+// on every run.
+func (gs *GradShadow) AddInto() {
+	for _, name := range gs.ps.order {
+		p := gs.ps.byName[name]
+		p.Grad.AddInPlace(gs.grads[p])
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -15,9 +17,33 @@ type ListwiseModel interface {
 	// Logits returns an L×1 node of pre-sigmoid re-ranking scores for the
 	// instance. train distinguishes stochastic behavior (e.g. RAPID-pro
 	// samples ξ during training but uses the UCB at inference).
+	//
+	// The parallel trainer calls Logits from multiple goroutines at once
+	// (distinct tapes, distinct instances), so the method must not mutate
+	// shared model state. Models with train-time randomness implement
+	// BatchPreparer to move their random draws onto the trainer goroutine.
 	Logits(t *nn.Tape, inst *Instance, train bool) *nn.Node
 	// Params exposes the trainable parameters.
 	Params() *nn.ParamSet
+}
+
+// BatchPreparer is an optional ListwiseModel extension for models whose
+// training-time forward pass is stochastic. The trainer calls
+// PrepareInstance sequentially — in batch order, before any worker touches
+// the batch — so the model can pre-draw its random numbers from its own RNG
+// in a deterministic order and stash them per instance. Logits(train=true)
+// then consumes the stashed draws instead of the RNG, which keeps the
+// forward pass read-only (race-free) and the RNG stream independent of
+// worker scheduling.
+type BatchPreparer interface {
+	PrepareInstance(inst *Instance)
+}
+
+// TapeSized is an optional ListwiseModel extension reporting an estimate of
+// the number of tape nodes one Logits call records, so the trainer can
+// pre-size its tapes (nn.NewTapeCap) and skip arena growth entirely.
+type TapeSized interface {
+	TapeCapHint() int
 }
 
 // TrainConfig bundles the optimization hyper-parameters shared by all
@@ -28,6 +54,14 @@ type TrainConfig struct {
 	BatchSize int     // gradient-accumulation batch; ≥1
 	ClipNorm  float64 // global-norm gradient clip; 0 disables
 	Seed      int64
+	// Workers caps the goroutines that evaluate forward/backward passes in
+	// parallel within one gradient-accumulation batch. 0 means
+	// GOMAXPROCS(0); it is further clamped to BatchSize. Any value yields
+	// bitwise-identical training to Workers=1 for the same seed: each batch
+	// slot accumulates into its own gradient shadow and the shadows are
+	// reduced in slot order, so float summation order never depends on
+	// scheduling.
+	Workers int
 	// OnEpoch, when non-nil, receives (epoch, mean loss) after each epoch —
 	// used by the efficiency study and for convergence tests.
 	OnEpoch func(epoch int, loss float64)
@@ -65,9 +99,28 @@ func DefaultTrainConfig(seed int64) TrainConfig {
 	return TrainConfig{Epochs: 8, LR: 0.005, BatchSize: 8, ClipNorm: 5, Seed: seed}
 }
 
+// slotState is the per-batch-slot worker state: a reusable tape whose
+// parameter gradients are redirected into a private shadow. Slot i always
+// processes the i-th instance of a batch, regardless of which worker
+// goroutine picks the job up, so the reduction over slots is stable.
+type slotState struct {
+	tape   *nn.Tape
+	shadow *nn.GradShadow
+	loss   float64
+	ok     bool
+}
+
+type slotJob struct {
+	slot int
+	inst *Instance
+}
+
 // TrainListwise optimizes the model's BCE loss (Eq. 11) over the training
 // instances with Adam, accumulating gradients over BatchSize instances per
-// step. It returns the final epoch's mean loss.
+// step. Within a batch the forward/backward passes run on up to
+// cfg.Workers goroutines; gradients land in per-slot shadows that are
+// folded into the parameters in slot order, so results are bitwise
+// independent of the worker count. It returns the final epoch's mean loss.
 func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64, error) {
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 1
@@ -92,9 +145,43 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 		patience = 2
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+
 	opt := nn.NewAdam(cfg.LR)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ps := m.Params()
+	prep, _ := m.(BatchPreparer)
+
+	slots := make([]*slotState, cfg.BatchSize)
+	for i := range slots {
+		s := &slotState{tape: newModelTape(m), shadow: nn.NewGradShadow(ps)}
+		s.tape.WithGrads(s.shadow)
+		slots[i] = s
+	}
+
+	// A persistent worker pool for the whole run: jobs carry a slot index,
+	// wg marks batch completion. Channel send/receive orders the trainer's
+	// sequential work (instance prep, previous-batch reduction) before the
+	// worker's forward pass; wg.Wait orders all backward passes before the
+	// reduction that reads the shadows.
+	jobs := make(chan slotJob)
+	var wg sync.WaitGroup
+	defer close(jobs)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				runSlot(m, slots[j.slot], j.inst)
+				wg.Done()
+			}
+		}()
+	}
+
 	var lastLoss float64
 	bestValid := math.Inf(1)
 	var bestSnapshot [][]float64
@@ -102,32 +189,39 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := rng.Perm(len(train))
 		var epochLoss float64
-		pending, counted := 0, 0
-		for _, pi := range perm {
-			inst := train[pi]
-			t := nn.NewTape()
-			logits := m.Logits(t, inst, true)
-			loss := t.SigmoidBCE(logits, inst.Labels)
-			lv := loss.Value.Data[0]
-			if math.IsNaN(lv) || math.IsInf(lv, 0) {
-				// Poisoned forward pass: skip backward so the garbage never
-				// reaches the gradient buffers, and count the casualty.
-				if cfg.Stats != nil {
+		counted := 0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(perm))
+			if prep != nil {
+				// Sequential, in batch order: the model draws its
+				// training-time randomness here so workers stay read-only.
+				for _, pi := range perm[start:end] {
+					prep.PrepareInstance(train[pi])
+				}
+			}
+			n := end - start
+			wg.Add(n)
+			for s := 0; s < n; s++ {
+				jobs <- slotJob{slot: s, inst: train[perm[start+s]]}
+			}
+			wg.Wait()
+			// Reduce in slot order — never in completion order.
+			ok := 0
+			for s := 0; s < n; s++ {
+				sl := slots[s]
+				if sl.ok {
+					epochLoss += sl.loss
+					counted++
+					ok++
+					sl.shadow.AddInto()
+					sl.shadow.Zero()
+				} else if cfg.Stats != nil {
 					cfg.Stats.SkippedInstances++
 				}
-				continue
 			}
-			t.Backward(loss)
-			epochLoss += lv
-			counted++
-			pending++
-			if pending == cfg.BatchSize {
-				step(ps, opt, cfg, pending)
-				pending = 0
+			if ok > 0 {
+				step(ps, opt, cfg, ok)
 			}
-		}
-		if pending > 0 {
-			step(ps, opt, cfg, pending)
 		}
 		if counted > 0 {
 			lastLoss = epochLoss / float64(counted)
@@ -157,17 +251,46 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 	return lastLoss, nil
 }
 
-// ValidationLoss computes the deterministic (inference-mode) mean BCE over
-// labeled instances without touching gradients.
-func ValidationLoss(m ListwiseModel, insts []*Instance) float64 {
-	var total float64
-	for _, inst := range insts {
-		t := nn.NewTape()
-		logits := m.Logits(t, inst, false)
-		total += t.SigmoidBCE(logits, inst.Labels).Value.Data[0]
+// runSlot executes one instance's forward/backward on the slot's private
+// tape and shadow. A NaN/Inf forward loss skips backward entirely so the
+// garbage never reaches the gradient shadows.
+func runSlot(m ListwiseModel, s *slotState, inst *Instance) {
+	s.tape.Reset()
+	logits := m.Logits(s.tape, inst, true)
+	loss := s.tape.SigmoidBCE(logits, inst.Labels)
+	lv := loss.Value.Data[0]
+	if math.IsNaN(lv) || math.IsInf(lv, 0) {
+		s.loss, s.ok = 0, false
+		return
 	}
+	s.tape.Backward(loss)
+	s.loss, s.ok = lv, true
+}
+
+// newModelTape builds a tape sized to the model's per-instance graph when
+// the model reports an estimate.
+func newModelTape(m ListwiseModel) *nn.Tape {
+	if ts, ok := m.(TapeSized); ok {
+		if hint := ts.TapeCapHint(); hint > 0 {
+			return nn.NewTapeCap(hint)
+		}
+	}
+	return nn.NewTape()
+}
+
+// ValidationLoss computes the deterministic (inference-mode) mean BCE over
+// labeled instances without touching gradients. One tape is reused across
+// instances; losses are summed in instance order.
+func ValidationLoss(m ListwiseModel, insts []*Instance) float64 {
 	if len(insts) == 0 {
 		return 0
+	}
+	t := newModelTape(m)
+	var total float64
+	for _, inst := range insts {
+		t.Reset()
+		logits := m.Logits(t, inst, false)
+		total += t.SigmoidBCE(logits, inst.Labels).Value.Data[0]
 	}
 	return total / float64(len(insts))
 }
