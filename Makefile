@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race bench bench-json
+.PHONY: check build vet fmt test test-short race fuzz bench bench-json
 
 check: vet fmt test
 
@@ -28,6 +28,14 @@ test-short:
 # are concurrent and must stay race-clean).
 race:
 	$(GO) test -race ./...
+
+# Fuzz smoke: run each wire-level fuzz target for a short burst on top of
+# its committed seed corpus (testdata/fuzz). CI runs this; longer local
+# sessions just raise FUZZTIME.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzRerankRequest -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/benchsuite"
+	"repro/internal/obs"
 )
 
 // benchResult is one benchmark's measurements in BENCH_PR2.json.
@@ -34,6 +35,10 @@ type benchFile struct {
 	Env       benchEnv               `json:"env"`
 	Baseline  benchBaseline          `json:"baseline"`
 	Current   map[string]benchResult `json:"current"`
+	// Telemetry is the obs registry snapshot accumulated across the run:
+	// the inference-latency histogram (full distribution, not just the
+	// mean ns/op) and the training metric set from the TrainListwise epochs.
+	Telemetry []obs.MetricSnapshot `json:"telemetry,omitempty"`
 }
 
 type benchBaseline struct {
@@ -62,6 +67,9 @@ var baselineResults = benchBaseline{
 // alongside the committed pre-change baseline — to path as JSON. Progress
 // goes to stderr; the heavyweight Table2a entry runs last.
 func runBenchJSON(path string) error {
+	reg := obs.NewRegistry()
+	benchsuite.SetRegistry(reg)
+	defer benchsuite.SetRegistry(nil)
 	out := benchFile{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Env: benchEnv{
@@ -99,6 +107,7 @@ func runBenchJSON(path string) error {
 		fmt.Fprintf(os.Stderr, "rapidbench: %-18s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			e.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
+	out.Telemetry = reg.Snapshot()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -13,6 +13,8 @@
 //	POST /rerank   — JSON request → re-ranked item IDs and scores
 //	GET  /healthz  — liveness, model metadata and operational counters
 //	GET  /readyz   — readiness; 503 while draining
+//	GET  /metrics  — Prometheus text exposition (internal/obs)
+//	GET  /debug/pprof/* — profiling, only with -pprof
 //
 // Robustness envelope (see internal/serve): per-request scoring deadline
 // with graceful degradation to the initial-ranker order, bounded
@@ -51,6 +53,7 @@ func main() {
 		queueWait = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
 		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are a DoS surface)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -61,6 +64,7 @@ func main() {
 		QueueWait:    *queueWait,
 		MaxBodyBytes: *maxBody,
 		DrainTimeout: *drain,
+		Pprof:        *pprofOn,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidserve: %v\n", err)
 		os.Exit(1)
@@ -73,7 +77,7 @@ func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
 		return err
 	}
 	srv := serve.NewServer(model, man, cfg)
-	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v)",
-		addr, model.Name(), man.Dataset, cfg.Budget)
+	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v, metrics at /metrics, pprof %v)",
+		addr, model.Name(), man.Dataset, cfg.Budget, cfg.Pprof)
 	return srv.Run(ctx, addr)
 }

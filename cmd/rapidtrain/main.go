@@ -17,12 +17,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/rerank"
 	"repro/internal/serve"
 )
@@ -36,6 +41,7 @@ type options struct {
 	det       bool
 	resume    string // checkpoint to warm-start from; "" trains from scratch
 	ckptEvery int    // write a checkpoint every N epochs; 0 disables
+	debugAddr string // serve /metrics and pprof here during training; "" disables
 }
 
 func main() {
@@ -48,6 +54,7 @@ func main() {
 	flag.BoolVar(&o.det, "det", false, "use the deterministic head instead of the probabilistic one")
 	flag.StringVar(&o.resume, "resume", "", "checkpoint (.gob) to warm-start from; must match the architecture flags")
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 1, "write an atomic checkpoint to -out every N epochs (0 disables)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address while training (e.g. localhost:6060); empty disables")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidtrain: %v\n", err)
@@ -101,10 +108,24 @@ func run(o options) error {
 		fmt.Fprintf(os.Stderr, "resumed from %s\n", o.resume)
 	}
 
+	// Training telemetry: every epoch feeds an obs registry (and a progress
+	// line on stderr); -debug-addr exposes it live as /metrics plus pprof so
+	// a long run can be watched and profiled without stopping it.
+	reg := obs.NewRegistry()
+	if o.debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.debugAddr, obs.DebugMux(reg)); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server on %s: %v\n", o.debugAddr, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics and /debug/pprof/\n", o.debugAddr)
+	}
+
 	// NaN/Inf guards: poisoned batches are skipped and counted rather than
 	// corrupting Adam state; the counters are reported after training.
 	stats := &rerank.TrainStats{}
 	m.TrainCfg.Stats = stats
+	m.TrainCfg.Observer = &trainObserver{tel: obs.NewTrainTelemetry(reg), w: os.Stderr}
 	prevOnEpoch := m.TrainCfg.OnEpoch
 	m.TrainCfg.OnEpoch = func(epoch int, loss float64) {
 		if prevOnEpoch != nil {
@@ -138,6 +159,28 @@ func run(o options) error {
 	}
 	fmt.Fprintf(os.Stderr, "saved %s (+ manifest); test metrics: %v\n", o.out, metrics)
 	return nil
+}
+
+// trainObserver adapts rerank's epoch hook to the obs training telemetry and
+// prints one progress line per epoch. It runs on the trainer goroutine at
+// epoch boundaries, so plain writes are safe; the telemetry side is atomic
+// and therefore scrape-safe from the -debug-addr server.
+type trainObserver struct {
+	tel *obs.TrainTelemetry
+	w   io.Writer
+}
+
+func (t *trainObserver) ObserveEpoch(es rerank.EpochStats) {
+	t.tel.RecordEpoch(es.Loss, es.ValidLoss, es.Duration, es.Steps, es.Instances, es.SkippedInstances, es.DroppedSteps)
+	line := fmt.Sprintf("epoch %d/%d loss=%.6f", es.Epoch+1, es.Epochs, es.Loss)
+	if !math.IsNaN(es.ValidLoss) {
+		line += fmt.Sprintf(" valid=%.6f", es.ValidLoss)
+	}
+	line += fmt.Sprintf(" %s steps=%d", es.Duration.Round(time.Millisecond), es.Steps)
+	if es.SkippedInstances > 0 || es.DroppedSteps > 0 {
+		line += fmt.Sprintf(" skipped=%d dropped=%d", es.SkippedInstances, es.DroppedSteps)
+	}
+	fmt.Fprintln(t.w, line)
 }
 
 // writeManifestAtomic mirrors the weights' atomic write discipline for the

@@ -8,15 +8,34 @@ package benchsuite
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rerank"
 	"repro/internal/topics"
 )
+
+// reg, when non-nil, receives benchmark telemetry: an inference-latency
+// histogram from RAPIDInference and the training metric set from
+// TrainListwise. It stays nil under plain `go test -bench` so the named
+// benchmarks measure exactly the uninstrumented hot path; rapidbench sets it
+// so BENCH_*.json can carry histogram snapshots next to ns/op.
+var reg *obs.Registry
+
+// SetRegistry attaches (or with nil detaches) the telemetry registry.
+func SetRegistry(r *obs.Registry) { reg = r }
+
+// telObserver feeds rerank epoch stats into the obs training telemetry.
+type telObserver struct{ tel *obs.TrainTelemetry }
+
+func (t telObserver) ObserveEpoch(es rerank.EpochStats) {
+	t.tel.RecordEpoch(es.Loss, es.ValidLoss, es.Duration, es.Steps, es.Instances, es.SkippedInstances, es.DroppedSteps)
+}
 
 // Entry names one benchmark for the JSON harness. InstancesPerOp, when
 // non-zero, is the number of training instances one op processes, so
@@ -100,9 +119,20 @@ func RAPIDInference(b *testing.B) {
 	inst := rerank.NewInstance(d, req, rng)
 	env := &experiments.Env{Data: d}
 	m := experiments.NewRAPID(env, opt, 1, nil)
+	var h *obs.Histogram
+	if reg != nil {
+		h = reg.Histogram("rapid_bench_inference_seconds",
+			"Latency of one RAPID forward pass over a 20-item list.", nil)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Scores(inst)
+		if h != nil {
+			start := time.Now()
+			m.Scores(inst)
+			h.ObserveDuration(time.Since(start))
+		} else {
+			m.Scores(inst)
+		}
 	}
 }
 
@@ -169,6 +199,9 @@ func TrainListwise(b *testing.B) {
 		m := experiments.NewRAPID(env, tableOptions(int64(9+i)), int64(i), nil)
 		m.TrainCfg = rerank.TrainConfig{
 			Epochs: trainBenchEpochs, LR: 0.005, BatchSize: 8, ClipNorm: 5, Seed: int64(9 + i),
+		}
+		if reg != nil {
+			m.TrainCfg.Observer = telObserver{tel: obs.NewTrainTelemetry(reg)}
 		}
 		if err := m.Fit(train); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// goldenRegistry builds a registry with one metric of every kind and fully
+// deterministic values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("rapid_requests_total", "Re-rank requests received.")
+	c.Add(42)
+	v := r.CounterVec("rapid_degraded_total", "Degraded responses by reason.", "reason")
+	v.With("deadline").Add(3)
+	v.With("error").Add(1)
+	v.With("panic").Inc()
+	g := r.Gauge("rapid_inflight_scoring", "Scoring passes currently executing.")
+	g.Set(2)
+	h := r.Histogram("rapid_scoring_latency_seconds", "Model scoring latency.", []float64{0.005, 0.05, 0.5})
+	for _, obs := range []float64{0.001, 0.004, 0.03, 0.2, 4} {
+		h.Observe(obs)
+	}
+	return r
+}
+
+// TestExpositionGolden pins the /metrics exposition byte-for-byte: metric
+// names, sort order, HELP/TYPE lines, label rendering, cumulative buckets.
+// A rename or format drift fails loudly here; refresh intentionally with
+//
+//	go test ./internal/obs -run Golden -update
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers on mux under
+// /debug/pprof/. It is deliberately opt-in (a flag on the serving binaries):
+// profiling endpoints expose heap contents and must never ship enabled on an
+// internet-facing listener by accident.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugMux bundles a registry's /metrics endpoint with the pprof handlers —
+// the debug listener a training run exposes with rapidtrain -debug-addr.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", r.Handler())
+	RegisterPprof(mux)
+	return mux
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -65,6 +66,13 @@ type TrainConfig struct {
 	// OnEpoch, when non-nil, receives (epoch, mean loss) after each epoch —
 	// used by the efficiency study and for convergence tests.
 	OnEpoch func(epoch int, loss float64)
+	// Observer, when non-nil, receives a full EpochStats record after each
+	// epoch — the training-telemetry hook behind rapidtrain's progress
+	// lines and /metrics debug port. It fires exactly once per epoch, after
+	// OnEpoch, with the same loss value, on the trainer goroutine (never a
+	// worker), so an implementation may read model state without locking.
+	// A nil observer costs nothing on the hot path.
+	Observer EpochObserver
 	// ValidFrac, when positive, holds out that fraction of the training
 	// instances (the tail, deterministically) as a validation split and
 	// enables early stopping: training halts once the validation loss has
@@ -80,6 +88,45 @@ type TrainConfig struct {
 	// Adam's moment estimates — a single NaN gradient would otherwise poison
 	// the moving averages for every subsequent step.
 	Stats *TrainStats
+}
+
+// EpochStats is the per-epoch telemetry record handed to
+// TrainConfig.Observer. Counts are per-epoch deltas (not running totals);
+// the observer owns any accumulation.
+type EpochStats struct {
+	// Epoch is the zero-based epoch index; Epochs the configured total
+	// (early stopping may end the run before Epoch reaches Epochs-1).
+	Epoch, Epochs int
+	// Loss is the epoch's mean training loss — bitwise the value OnEpoch
+	// received.
+	Loss float64
+	// ValidLoss is the held-out validation loss, NaN when the run has no
+	// validation split.
+	ValidLoss float64
+	// Duration is the epoch's wall-clock time, including validation.
+	Duration time.Duration
+	// Steps is the number of optimizer steps applied; DroppedSteps the
+	// steps abandoned by the non-finite-gradient guard.
+	Steps, DroppedSteps int
+	// Instances is the number of instances whose loss entered the epoch
+	// mean; SkippedInstances the instances the NaN/Inf loss guard skipped.
+	Instances, SkippedInstances int
+}
+
+// EpochObserver receives per-epoch training telemetry. Implementations must
+// not retain the EpochStats value's address across calls (it is passed by
+// value precisely so the trainer never allocates for it).
+type EpochObserver interface {
+	ObserveEpoch(EpochStats)
+}
+
+// emitEpoch dispatches one epoch record. Split out so the allocation guard
+// (TestObserverNilZeroAllocs) can pin that a nil observer costs zero
+// allocations, matching the tape-reuse guarantees of the parallel trainer.
+func emitEpoch(o EpochObserver, es EpochStats) {
+	if o != nil {
+		o.ObserveEpoch(es)
+	}
 }
 
 // TrainStats counts training anomalies survived by the numerical guards.
@@ -187,9 +234,10 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 	var bestSnapshot [][]float64
 	bad := 0
 	for e := 0; e < cfg.Epochs; e++ {
+		epochStart := time.Now()
 		perm := rng.Perm(len(train))
 		var epochLoss float64
-		counted := 0
+		counted, skipped, steps, dropped := 0, 0, 0, 0
 		for start := 0; start < len(perm); start += cfg.BatchSize {
 			end := min(start+cfg.BatchSize, len(perm))
 			if prep != nil {
@@ -215,12 +263,22 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 					ok++
 					sl.shadow.AddInto()
 					sl.shadow.Zero()
-				} else if cfg.Stats != nil {
-					cfg.Stats.SkippedInstances++
+				} else {
+					skipped++
+					if cfg.Stats != nil {
+						cfg.Stats.SkippedInstances++
+					}
 				}
 			}
 			if ok > 0 {
-				step(ps, opt, cfg, ok)
+				if step(ps, opt, cfg, ok) {
+					steps++
+				} else {
+					dropped++
+					if cfg.Stats != nil {
+						cfg.Stats.DroppedSteps++
+					}
+				}
 			}
 		}
 		if counted > 0 {
@@ -231,8 +289,20 @@ func TrainListwise(m ListwiseModel, train []*Instance, cfg TrainConfig) (float64
 		if cfg.OnEpoch != nil {
 			cfg.OnEpoch(e, lastLoss)
 		}
+		// Validation runs before the observer so one record carries both
+		// losses; the same value then drives early stopping.
+		vl := math.NaN()
 		if valid != nil {
-			vl := ValidationLoss(m, valid)
+			vl = ValidationLoss(m, valid)
+		}
+		emitEpoch(cfg.Observer, EpochStats{
+			Epoch: e, Epochs: cfg.Epochs,
+			Loss: lastLoss, ValidLoss: vl,
+			Duration: time.Since(epochStart),
+			Steps:    steps, DroppedSteps: dropped,
+			Instances: counted, SkippedInstances: skipped,
+		})
+		if valid != nil {
 			if vl < bestValid-1e-6 {
 				bestValid = vl
 				bestSnapshot = snapshotValues(ps)
@@ -310,7 +380,10 @@ func restoreValues(ps *nn.ParamSet, snap [][]float64) {
 	}
 }
 
-func step(ps *nn.ParamSet, opt nn.Optimizer, cfg TrainConfig, batch int) {
+// step applies one accumulated optimizer step, reporting whether it was
+// applied (false: the non-finite-gradient guard dropped it; the caller owns
+// the counting).
+func step(ps *nn.ParamSet, opt nn.Optimizer, cfg TrainConfig, batch int) bool {
 	if batch > 1 {
 		inv := 1 / float64(batch)
 		for _, p := range ps.All() {
@@ -323,15 +396,13 @@ func step(ps *nn.ParamSet, opt nn.Optimizer, cfg TrainConfig, batch int) {
 		// keeps Adam's moment estimates clean; applying it would corrupt
 		// them permanently.
 		ps.ZeroGrad()
-		if cfg.Stats != nil {
-			cfg.Stats.DroppedSteps++
-		}
-		return
+		return false
 	}
 	if cfg.ClipNorm > 0 {
 		ps.ClipGradNorm(cfg.ClipNorm)
 	}
 	opt.Step(ps.All())
+	return true
 }
 
 func gradsFinite(ps *nn.ParamSet) bool {

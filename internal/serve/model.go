@@ -3,12 +3,19 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/topics"
 )
+
+// MaxDim caps every geometry dimension a manifest may declare. The paper's
+// grid tops out at hidden size 64 and 23 topics; a five-digit dimension is a
+// corrupt or hostile manifest, and building it would allocate gigabytes
+// before the weights load could fail. Startup is the place to reject it.
+const MaxDim = 4096
 
 // Manifest describes a saved model so a server can rebuild the architecture
 // before loading weights. rapidtrain writes it alongside the weights file;
@@ -43,6 +50,10 @@ func ValidateConfig(cfg core.Config) error {
 		return fmt.Errorf("Hidden %d must be positive", cfg.Hidden)
 	case cfg.D <= 0:
 		return fmt.Errorf("D %d must be positive", cfg.D)
+	case cfg.UserDim > MaxDim, cfg.ItemDim > MaxDim, cfg.Topics > MaxDim,
+		cfg.Hidden > MaxDim, cfg.D > MaxDim:
+		return fmt.Errorf("geometry (%d,%d,%d,%d,%d) exceeds the %d dimension cap",
+			cfg.UserDim, cfg.ItemDim, cfg.Topics, cfg.Hidden, cfg.D, MaxDim)
 	}
 	if cfg.Output != core.Deterministic && cfg.Output != core.Probabilistic {
 		return fmt.Errorf("unknown output mode %d", cfg.Output)
@@ -69,17 +80,14 @@ func ValidateConfig(cfg core.Config) error {
 // offending parameter named — never a panic (or silently random weights) at
 // the first request.
 func LoadModel(modelPath string) (*core.Model, Manifest, error) {
-	var man Manifest
 	mf, err := os.Open(ManifestPath(modelPath))
 	if err != nil {
-		return nil, man, fmt.Errorf("open manifest: %w", err)
+		return nil, Manifest{}, fmt.Errorf("open manifest: %w", err)
 	}
 	defer mf.Close()
-	if err := json.NewDecoder(mf).Decode(&man); err != nil {
-		return nil, man, fmt.Errorf("decode manifest: %w", err)
-	}
-	if err := ValidateConfig(man.Config); err != nil {
-		return nil, man, fmt.Errorf("manifest %s: invalid model config: %w", ManifestPath(modelPath), err)
+	man, err := decodeManifest(mf)
+	if err != nil {
+		return nil, man, fmt.Errorf("manifest %s: %w", ManifestPath(modelPath), err)
 	}
 	m, err := buildModel(man.Config)
 	if err != nil {
@@ -94,6 +102,21 @@ func LoadModel(modelPath string) (*core.Model, Manifest, error) {
 		return nil, man, fmt.Errorf("weights %s disagree with manifest config: %w", modelPath, err)
 	}
 	return m, man, nil
+}
+
+// decodeManifest is the manifest parsing stage LoadModel runs before
+// touching any weights: JSON decode plus geometry validation. It is split
+// out so the fuzz harness (FuzzManifest) can drive arbitrary bytes through
+// exactly the code a hostile manifest would reach, without building models.
+func decodeManifest(r io.Reader) (Manifest, error) {
+	var man Manifest
+	if err := json.NewDecoder(r).Decode(&man); err != nil {
+		return man, fmt.Errorf("decode manifest: %w", err)
+	}
+	if err := ValidateConfig(man.Config); err != nil {
+		return man, fmt.Errorf("invalid model config: %w", err)
+	}
+	return man, nil
 }
 
 // buildModel constructs the architecture, converting any constructor panic

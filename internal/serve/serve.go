@@ -17,6 +17,12 @@
 // and, per process: an http.Server with read/write/idle timeouts, a /readyz
 // probe (distinct from /healthz liveness) that flips unready during drain,
 // and graceful shutdown that completes in-flight requests before exit.
+//
+// Every hot-path event lands in an internal/obs registry exported on
+// GET /metrics (Prometheus text format): requests and responses by status,
+// degradations by reason, shed and panic counts, queue-wait / scoring /
+// end-to-end latency histograms and an in-flight gauge. Config.Pprof
+// additionally mounts net/http/pprof under /debug/pprof/.
 package serve
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rerank"
 )
 
@@ -71,6 +78,14 @@ type Config struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration
+	// Registry receives the server's metrics; nil means a private registry
+	// (read it back with Server.Registry). Passing one lets a process share
+	// a single /metrics namespace across subsystems.
+	Registry *obs.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// handler. Opt-in: profiling endpoints expose heap contents and must be
+	// enabled deliberately.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,7 +116,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats are the server's operational counters, exported on /healthz.
+// Stats are the server's operational counters, exported on /healthz. The
+// same numbers back the /metrics exposition: both views read the one set of
+// registry atomics, so they can never disagree (the previous revision kept a
+// parallel set of counters that /healthz read field-by-field).
 type Stats struct {
 	Requests  int64 `json:"requests"`
 	Degraded  int64 `json:"degraded"`
@@ -109,6 +127,49 @@ type Stats struct {
 	Panics    int64 `json:"panics_recovered"`
 	BadInput  int64 `json:"bad_input"`
 	Responses int64 `json:"responses_ok"`
+}
+
+// serveMetrics is the serving-side metric set, registered on one
+// obs.Registry. Counters are the source of truth for Stats.
+type serveMetrics struct {
+	requests    *obs.Counter
+	responses   *obs.CounterVec // terminal status per request
+	responsesOK *obs.Counter    // cached responses.With("ok")
+	degraded    *obs.CounterVec // degradation reason
+	shed        *obs.Counter
+	panics      *obs.Counter
+	badInput    *obs.Counter
+	inflight    *obs.Gauge
+	queueWait   *obs.Histogram
+	scoring     *obs.Histogram
+	request     *obs.Histogram
+}
+
+func newServeMetrics(r *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		requests: r.Counter("rapid_http_requests_total",
+			"Re-rank requests received (any outcome)."),
+		responses: r.CounterVec("rapid_http_responses_total",
+			"Finished re-rank requests by terminal status: ok, degraded, bad_input, too_large, shed, canceled.", "status"),
+		degraded: r.CounterVec("rapid_degraded_total",
+			"Degraded (initial-order fallback) responses by reason: deadline, error, panic.", "reason"),
+		shed: r.Counter("rapid_shed_total",
+			"Requests shed with 429 because no scoring slot freed within the queue wait."),
+		panics: r.Counter("rapid_panics_recovered_total",
+			"Panics recovered in the handler chain or the scoring goroutine."),
+		badInput: r.Counter("rapid_bad_input_total",
+			"Requests rejected with 4xx for malformed or geometry-mismatched input."),
+		inflight: r.Gauge("rapid_inflight_scoring",
+			"Scoring passes currently executing (includes deadline-abandoned passes until they finish)."),
+		queueWait: r.Histogram("rapid_queue_wait_seconds",
+			"Time an admitted request waited for a scoring slot.", nil),
+		scoring: r.Histogram("rapid_scoring_latency_seconds",
+			"Model scoring wall-clock time, measured to completion even past the budget.", nil),
+		request: r.Histogram("rapid_request_latency_seconds",
+			"End-to-end /rerank handler latency.", nil),
+	}
+	m.responsesOK = m.responses.With("ok")
+	return m
 }
 
 // Server serves a trained model behind the robustness envelope above.
@@ -119,55 +180,67 @@ type Server struct {
 	manifest Manifest
 	sem      chan struct{}
 	ready    atomic.Bool
+	reg      *obs.Registry
+	met      *serveMetrics
 
 	// Faults is the chaos-testing seam; nil in production.
 	Faults FaultInjector
 	// Log receives operational messages; defaults to log.Printf.
 	Log func(format string, args ...any)
-
-	requests  atomic.Int64
-	degraded  atomic.Int64
-	shed      atomic.Int64
-	panics    atomic.Int64
-	badInput  atomic.Int64
-	responses atomic.Int64
 }
 
 // NewServer wraps a scorer with the hardened handler chain. man.Config must
 // describe the scorer's instance geometry (it validates incoming requests).
 func NewServer(model Scorer, man Manifest, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
 		model:    model,
 		geom:     man.Config,
 		manifest: man,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
+		reg:      reg,
+		met:      newServeMetrics(reg),
 		Log:      log.Printf,
 	}
 	s.ready.Store(true)
 	return s
 }
 
-// Stats snapshots the operational counters.
+// Registry exposes the server's metric registry so a binary can add its own
+// metrics to the same /metrics namespace.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Stats snapshots the operational counters from the metric registry. Each
+// field is one atomic load; the struct is a consistent-enough scrape (see
+// the obs package comment), and every field is individually exact.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:  s.requests.Load(),
-		Degraded:  s.degraded.Load(),
-		Shed:      s.shed.Load(),
-		Panics:    s.panics.Load(),
-		BadInput:  s.badInput.Load(),
-		Responses: s.responses.Load(),
+		Requests:  s.met.requests.Value(),
+		Degraded:  s.met.degraded.Total(),
+		Shed:      s.met.shed.Value(),
+		Panics:    s.met.panics.Value(),
+		BadInput:  s.met.badInput.Value(),
+		Responses: s.met.responsesOK.Value(),
 	}
 }
 
 // Handler returns the full handler chain: routing wrapped in panic
-// recovery.
+// recovery, with /metrics (and optionally /debug/pprof/) mounted beside the
+// serving endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /rerank", s.handleRerank)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.cfg.Pprof {
+		obs.RegisterPprof(mux)
+	}
 	return s.recovered(mux)
 }
 
@@ -179,7 +252,7 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.panics.Add(1)
+				s.met.panics.Inc()
 				s.Log("serve: recovered handler panic on %s %s: %v", r.Method, r.URL.Path, p)
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
@@ -196,23 +269,27 @@ type scoreOutcome struct {
 
 func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.requests.Add(1)
+	s.met.requests.Inc()
+	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req RerankRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.badInput.Add(1)
+		s.met.badInput.Inc()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			s.met.responses.With("too_large").Inc()
 			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
 			return
 		}
+		s.met.responses.With("bad_input").Inc()
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	inst, err := ToInstance(s.geom, &req)
 	if err != nil {
-		s.badInput.Add(1)
+		s.met.badInput.Inc()
+		s.met.responses.With("bad_input").Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -224,14 +301,18 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	// bound honest.
 	admit := time.NewTimer(s.cfg.QueueWait)
 	defer admit.Stop()
+	qstart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		s.met.queueWait.ObserveDuration(time.Since(qstart))
 	case <-admit.C:
-		s.shed.Add(1)
+		s.met.shed.Inc()
+		s.met.responses.With("shed").Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 		return
 	case <-r.Context().Done():
+		s.met.responses.With("canceled").Inc()
 		return // client gone; nothing to answer
 	}
 
@@ -239,10 +320,19 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	done := make(chan scoreOutcome, 1)
 	go func() {
-		defer func() { <-s.sem }()
+		s.met.inflight.Add(1)
+		sstart := time.Now()
+		defer func() {
+			// Observed to true completion: a deadline-abandoned pass still
+			// lands its real latency here, which is exactly what the tail of
+			// this histogram is for.
+			s.met.scoring.ObserveDuration(time.Since(sstart))
+			s.met.inflight.Add(-1)
+			<-s.sem
+		}()
 		defer func() {
 			if p := recover(); p != nil {
-				s.panics.Add(1)
+				s.met.panics.Inc()
 				s.Log("serve: recovered scoring panic: %v", p)
 				done <- scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
 			}
@@ -276,7 +366,7 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 				ordered[i] = out.scores[pos[id]]
 			}
 			resp = RerankResponse{Ranked: order, Scores: ordered}
-			s.responses.Add(1)
+			s.met.responsesOK.Inc()
 		}
 	case <-ctx.Done():
 		resp = s.degrade(inst, "deadline")
@@ -293,7 +383,8 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 // must hand back the list it was given — the upstream ranking is always a
 // valid (if less diverse) answer, while an error would cost the impression.
 func (s *Server) degrade(inst *rerank.Instance, reason string) RerankResponse {
-	s.degraded.Add(1)
+	s.met.degraded.With(reason).Inc()
+	s.met.responses.With("degraded").Inc()
 	order, scores := FallbackOrder(inst)
 	return RerankResponse{Ranked: order, Scores: scores, Degraded: true, DegradedReason: reason}
 }
