@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz bench bench-json
+.PHONY: check build vet fmt test test-short race fuzz smoke bench bench-json
 
 check: vet fmt test
 
@@ -36,6 +36,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRerankRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/serve
+
+# Model-lifecycle smoke: trains two tiny models, publishes them into a
+# versioned store, serves it with rapidserve -model-root and drives a
+# load → promote → rollback cycle through the admin API, asserting the
+# per-version /metrics series. The end-to-end check of internal/registry
+# through the real binaries.
+smoke:
+	./scripts/lifecycle_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

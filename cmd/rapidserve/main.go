@@ -4,9 +4,17 @@
 // industrial response budget (< 50 ms) and must never stall or crash the
 // serving chain it sits in.
 //
-// Start it with the artifacts produced by rapidtrain:
+// Two deployment shapes:
 //
-//	rapidserve -model rapid-model.gob -addr :8080
+//	rapidserve -model rapid-model.gob -addr :8080        # one fixed model
+//	rapidserve -model-root /srv/models -addr :8080       # versioned registry
+//
+// With -model-root the server opens a model registry (internal/registry)
+// over a directory of versions published by rapidtrain -publish, activates
+// the newest one, and exposes the model lifecycle over the admin API: load a
+// candidate (warm-up validated, then canaried to -canary-pct of traffic and
+// shadow-scored with -shadow), promote it, or roll back — all without
+// dropping a request. SIGHUP rescans the root for newly published versions.
 //
 // Endpoints:
 //
@@ -14,7 +22,14 @@
 //	GET  /healthz  — liveness, model metadata and operational counters
 //	GET  /readyz   — readiness; 503 while draining
 //	GET  /metrics  — Prometheus text exposition (internal/obs)
+//	GET  /admin/models            — versions and lifecycle states (-model-root only)
+//	POST /admin/models/load       — {"version": "..."}: stage a canary candidate
+//	POST /admin/models/promote    — {"version": "..."}: candidate → active
+//	POST /admin/models/rollback   — abort candidate / revert to previous
 //	GET  /debug/pprof/* — profiling, only with -pprof
+//
+// Admin endpoints require -admin-token as a bearer token, or a loopback peer
+// when no token is set.
 //
 // Robustness envelope (see internal/serve): per-request scoring deadline
 // with graceful degradation to the initial-ranker order, bounded
@@ -41,36 +56,50 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		modelPath = flag.String("model", "rapid-model.gob", "model weights from rapidtrain")
-		addr      = flag.String("addr", ":8080", "listen address")
-		budget    = flag.Duration("budget", 50*time.Millisecond, "per-request scoring deadline before degrading to the initial order")
-		inflight  = flag.Int("max-inflight", 0, "max concurrent scoring passes (0 = 4×GOMAXPROCS)")
-		queueWait = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
-		maxBody   = flag.Int64("max-body", 8<<20, "request body cap in bytes")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are a DoS surface)")
+		modelPath  = flag.String("model", "rapid-model.gob", "model weights from rapidtrain (single-model mode; ignored with -model-root)")
+		modelRoot  = flag.String("model-root", "", "versioned model registry root (from rapidtrain -publish); enables the lifecycle admin API")
+		canaryPct  = flag.Float64("canary-pct", 5, "percent of traffic routed to a loaded candidate version (registry mode)")
+		shadowOn   = flag.Bool("shadow", false, "shadow-score loaded candidates off the request path and export divergence histograms (registry mode)")
+		adminToken = flag.String("admin-token", "", "bearer token for the admin endpoints; empty restricts them to loopback peers")
+		addr       = flag.String("addr", ":8080", "listen address")
+		budget     = flag.Duration("budget", 50*time.Millisecond, "per-request scoring deadline before degrading to the initial order")
+		inflight   = flag.Int("max-inflight", 0, "max concurrent scoring passes (0 = 4×GOMAXPROCS)")
+		queueWait  = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
+		maxBody    = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are a DoS surface)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *modelPath, *addr, serve.Config{
+	cfg := serve.Config{
 		Budget:       *budget,
 		MaxInFlight:  *inflight,
 		QueueWait:    *queueWait,
 		MaxBodyBytes: *maxBody,
 		DrainTimeout: *drain,
 		Pprof:        *pprofOn,
-	}); err != nil {
+		AdminToken:   *adminToken,
+	}
+	var err error
+	if *modelRoot != "" {
+		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn)
+	} else {
+		err = run(ctx, *modelPath, *addr, cfg)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// run is the single-model deployment shape: one fixed model, no lifecycle.
 func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
 	model, man, err := serve.LoadModel(modelPath)
 	if err != nil {
@@ -79,5 +108,51 @@ func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
 	srv := serve.NewServer(model, man, cfg)
 	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v, metrics at /metrics, pprof %v)",
 		addr, model.Name(), man.Dataset, cfg.Budget, cfg.Pprof)
+	return srv.Run(ctx, addr)
+}
+
+// runRegistry is the versioned deployment shape: activate the newest
+// published version, serve through the registry so versions hot-swap under
+// live traffic, expose the lifecycle admin API, and rescan on SIGHUP.
+func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canaryPct float64, shadow bool) error {
+	reg, err := registry.New(registry.Config{
+		Root:          root,
+		CanaryPercent: canaryPct,
+		Shadow:        shadow,
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+	active, err := reg.ActivateLatest()
+	if err != nil {
+		return err
+	}
+	cfg.Registry = reg.ObsRegistry()
+	cfg.Admin = reg
+	srv := serve.NewProviderServer(reg, cfg)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if _, err := reg.Rescan(); err != nil {
+					log.Printf("rapidserve: SIGHUP rescan: %v", err)
+				}
+			}
+		}
+	}()
+
+	guard := "loopback-only"
+	if cfg.AdminToken != "" {
+		guard = "bearer-token"
+	}
+	log.Printf("rapidserve: listening on %s (registry %s, active %s, canary %.1f%%, shadow %v, admin API %s, budget %v)",
+		addr, root, active, canaryPct, shadow, guard, cfg.Budget)
 	return srv.Run(ctx, addr)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
@@ -16,6 +17,43 @@ func TestRunMissingModel(t *testing.T) {
 	err := run(context.Background(), filepath.Join(t.TempDir(), "nope.gob"), "127.0.0.1:0", serve.Config{})
 	if err == nil {
 		t.Fatal("missing model accepted")
+	}
+}
+
+func TestRunRegistryEmptyRoot(t *testing.T) {
+	err := runRegistry(context.Background(), t.TempDir(), "127.0.0.1:0", serve.Config{}, 5, false)
+	if err == nil {
+		t.Fatal("empty registry root accepted")
+	}
+}
+
+// TestRunRegistryStartsAndDrains exercises the versioned deployment shape:
+// publish a version, activate it through the registry, serve, drain.
+func TestRunRegistryStartsAndDrains(t *testing.T) {
+	root := t.TempDir()
+	cfg := core.Config{
+		UserDim: 3, ItemDim: 2, Topics: 2, Hidden: 4, D: 3,
+		Output: core.Probabilistic, Encoder: core.BiLSTMEncoder, Agg: core.LSTMAgg,
+		UseDiversity: true, Heads: 2, Seed: 1,
+	}
+	m := core.New(cfg)
+	if _, err := registry.Publish(root, "v1", m.ParamSet(), serve.Manifest{Dataset: "test", Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runRegistry(ctx, root, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, 5, true)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("runRegistry: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runRegistry did not drain after cancel")
 	}
 }
 

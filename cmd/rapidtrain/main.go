@@ -14,20 +14,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/rerank"
 	"repro/internal/serve"
 )
@@ -42,6 +41,7 @@ type options struct {
 	resume    string // checkpoint to warm-start from; "" trains from scratch
 	ckptEvery int    // write a checkpoint every N epochs; 0 disables
 	debugAddr string // serve /metrics and pprof here during training; "" disables
+	publish   string // registry root to publish into as a new version; "" disables
 }
 
 func main() {
@@ -55,6 +55,7 @@ func main() {
 	flag.StringVar(&o.resume, "resume", "", "checkpoint (.gob) to warm-start from; must match the architecture flags")
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 1, "write an atomic checkpoint to -out every N epochs (0 disables)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address while training (e.g. localhost:6060); empty disables")
+	flag.StringVar(&o.publish, "publish", "", "model registry root: additionally publish the trained model into a fresh version directory (atomic; servable by rapidserve -model-root)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidtrain: %v\n", err)
@@ -154,10 +155,18 @@ func run(o options) error {
 		return err
 	}
 	manifest := serve.Manifest{Dataset: o.dataset, Lambda: o.lambda, Config: m.Cfg, Metrics: metrics}
-	if err := writeManifestAtomic(serve.ManifestPath(o.out), manifest); err != nil {
+	if err := serve.WriteManifestFileAtomic(serve.ManifestPath(o.out), manifest); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "saved %s (+ manifest); test metrics: %v\n", o.out, metrics)
+	if o.publish != "" {
+		label, err := registry.Publish(o.publish, "", m.ParamSet(), manifest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "published version %s to %s (serve it with: rapidserve -model-root %s; activate later versions via the admin API)\n",
+			label, o.publish, o.publish)
+	}
 	return nil
 }
 
@@ -181,33 +190,4 @@ func (t *trainObserver) ObserveEpoch(es rerank.EpochStats) {
 		line += fmt.Sprintf(" skipped=%d dropped=%d", es.SkippedInstances, es.DroppedSteps)
 	}
 	fmt.Fprintln(t.w, line)
-}
-
-// writeManifestAtomic mirrors the weights' atomic write discipline for the
-// manifest: the (weights, manifest) pair on disk is only ever replaced by a
-// complete file, never observed half-written by a concurrently starting
-// server.
-func writeManifestAtomic(path string, man serve.Manifest) (err error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	enc := json.NewEncoder(tmp)
-	enc.SetIndent("", "  ")
-	if err = enc.Encode(man); err != nil {
-		return err
-	}
-	if err = tmp.Sync(); err != nil {
-		return err
-	}
-	if err = tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/serve"
 )
 
@@ -28,7 +29,10 @@ func TestTrainAndSaveRoundTrip(t *testing.T) {
 	}
 	dir := t.TempDir()
 	out := filepath.Join(dir, "model.gob")
-	if err := run(trainOpts(out)); err != nil {
+	store := filepath.Join(dir, "store")
+	o := trainOpts(out)
+	o.publish = store
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// The weights file and manifest must exist and load back strictly
@@ -47,9 +51,24 @@ func TestTrainAndSaveRoundTrip(t *testing.T) {
 		t.Fatal("manifest carries no evaluation metrics")
 	}
 
+	// -publish must have committed exactly one version into the store, and it
+	// must load back through the same strict production loader.
+	versions, err := registry.Scan(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("published versions %v, want exactly one", versions)
+	}
+	if _, pubMan, err := serve.LoadModel(registry.ModelPath(store, versions[0])); err != nil {
+		t.Fatalf("published version does not load: %v", err)
+	} else if pubMan.Dataset != "taobao" {
+		t.Fatalf("published manifest %+v", pubMan)
+	}
+
 	// Resume: a second run warm-started from the checkpoint must succeed
 	// and overwrite the artifacts atomically.
-	o := trainOpts(filepath.Join(dir, "model2.gob"))
+	o = trainOpts(filepath.Join(dir, "model2.gob"))
 	o.resume = out
 	if err := run(o); err != nil {
 		t.Fatal(err)
@@ -63,6 +82,9 @@ func TestTrainAndSaveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
+		if e.IsDir() {
+			continue // the publish store
+		}
 		if filepath.Ext(e.Name()) != ".gob" && filepath.Ext(e.Name()) != ".json" {
 			t.Fatalf("stray file %s after atomic writes", e.Name())
 		}

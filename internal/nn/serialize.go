@@ -80,6 +80,10 @@ func (s *ParamSet) load(r io.Reader, strict bool) error {
 // SaveFileAtomic writes the parameter snapshot to path through a temporary
 // file in the same directory followed by a rename, so a crash or kill
 // mid-write can never leave a truncated or half-written checkpoint at path.
+// The parent directory is fsynced after the rename: syncing only the file
+// makes its *contents* durable, but the rename lives in the directory, and a
+// crash before the directory metadata reaches disk would silently lose a
+// "successfully written" checkpoint or registry version.
 func (s *ParamSet) SaveFileAtomic(path string) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -103,6 +107,14 @@ func (s *ParamSet) SaveFileAtomic(path string) (err error) {
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("nn: publish checkpoint: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("nn: open checkpoint dir: %w", err)
+	}
+	defer d.Close()
+	if err = d.Sync(); err != nil {
+		return fmt.Errorf("nn: sync checkpoint dir: %w", err)
 	}
 	return nil
 }

@@ -50,6 +50,27 @@ func writeMetricText(w io.Writer, m MetricSnapshot) error {
 		}
 		_, err := fmt.Fprintf(w, "%s_count %d\n", m.Name, m.Hist.Count)
 		return err
+	case m.Kind == KindHistogram && m.Label != "":
+		for _, lh := range m.LabeledHists {
+			var cum int64
+			for i, c := range lh.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(lh.Hist.Bounds) {
+					le = formatFloat(lh.Hist.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", m.Name, m.Label, lh.Value, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", m.Name, m.Label, lh.Value, formatFloat(lh.Hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{%s=%q} %d\n", m.Name, m.Label, lh.Value, lh.Hist.Count); err != nil {
+				return err
+			}
+		}
+		return nil
 	case m.Label != "":
 		for _, lv := range m.Labeled {
 			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", m.Name, m.Label, lv.Value, lv.Count); err != nil {

@@ -27,6 +27,11 @@ func goldenRegistry() *Registry {
 	for _, obs := range []float64{0.001, 0.004, 0.03, 0.2, 4} {
 		h.Observe(obs)
 	}
+	hv := r.HistogramVec("rapid_model_request_latency_seconds", "Request latency by model version.", "version", []float64{0.01, 0.1})
+	for _, obs := range []float64{0.002, 0.05, 0.3} {
+		hv.With("v1").Observe(obs)
+	}
+	hv.With("v2") // registered but never observed: must render at zero
 	return r
 }
 

@@ -94,6 +94,41 @@ func (v *CounterVec) Total() int64 {
 	return t
 }
 
+// HistogramVec is a histogram partitioned by the values of one label (e.g.
+// request latency keyed by model version). Like CounterVec, label values are
+// created on first use and live for the registry's lifetime, so the
+// cardinality must stay small and bounded — model versions and stages, never
+// user ids.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.RWMutex
+	by     map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first use.
+// Creating a value eagerly (before any Observe) is deliberate: it makes the
+// series visible on /metrics at zero, so dashboards see a new model version
+// the moment it is registered rather than at its first request.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.by[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.by[value]; h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), v.bounds...),
+			counts: make([]atomic.Int64, len(v.bounds)+1),
+		}
+		v.by[value] = h
+	}
+	return h
+}
+
 // Gauge is an instantaneous float64 value (in-flight requests, last epoch
 // loss). Add uses a CAS loop so concurrent deltas never lose updates.
 type Gauge struct {
@@ -179,17 +214,24 @@ type LabeledValue struct {
 	Count int64  `json:"count"`
 }
 
+// LabeledHist is one label value of a HistogramVec in a snapshot.
+type LabeledHist struct {
+	Value string            `json:"value"`
+	Hist  HistogramSnapshot `json:"histogram"`
+}
+
 // MetricSnapshot is one metric's state in Registry.Snapshot — the common
 // currency of the /metrics renderer, the golden tests and the benchmark
 // harness's JSON output.
 type MetricSnapshot struct {
-	Name    string             `json:"name"`
-	Help    string             `json:"help"`
-	Kind    Kind               `json:"kind"`
-	Value   float64            `json:"value,omitempty"`   // counter, gauge
-	Label   string             `json:"label,omitempty"`   // labeled counter
-	Labeled []LabeledValue     `json:"labeled,omitempty"` // sorted by label value
-	Hist    *HistogramSnapshot `json:"histogram,omitempty"`
+	Name         string             `json:"name"`
+	Help         string             `json:"help"`
+	Kind         Kind               `json:"kind"`
+	Value        float64            `json:"value,omitempty"`   // counter, gauge
+	Label        string             `json:"label,omitempty"`   // labeled counter or histogram
+	Labeled      []LabeledValue     `json:"labeled,omitempty"` // sorted by label value
+	Hist         *HistogramSnapshot `json:"histogram,omitempty"`
+	LabeledHists []LabeledHist      `json:"labeled_histograms,omitempty"` // sorted by label value
 }
 
 // metric is one registered metric with its metadata.
@@ -266,6 +308,26 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	})
 }
 
+// HistogramVec registers (or fetches) a fixed-bucket histogram partitioned
+// by one label. bounds must be sorted ascending; nil means LatencyBuckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return register(r, name, help, func() *HistogramVec {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not sorted: %v", name, bounds))
+			}
+		}
+		return &HistogramVec{
+			label:  label,
+			bounds: append([]float64(nil), bounds...),
+			by:     map[string]*Histogram{},
+		}
+	})
+}
+
 // Snapshot captures every registered metric, sorted by name so the output
 // order is stable regardless of registration order.
 func (r *Registry) Snapshot() []MetricSnapshot {
@@ -300,6 +362,15 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			s.Kind = KindHistogram
 			h := impl.Snapshot()
 			s.Hist = &h
+		case *HistogramVec:
+			s.Kind = KindHistogram
+			s.Label = impl.label
+			impl.mu.RLock()
+			for v, h := range impl.by {
+				s.LabeledHists = append(s.LabeledHists, LabeledHist{Value: v, Hist: h.Snapshot()})
+			}
+			impl.mu.RUnlock()
+			sort.Slice(s.LabeledHists, func(i, j int) bool { return s.LabeledHists[i].Value < s.LabeledHists[j].Value })
 		}
 		out = append(out, s)
 	}

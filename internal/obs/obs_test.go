@@ -188,3 +188,57 @@ func TestConcurrentExactTotals(t *testing.T) {
 		t.Fatalf("bucket counts sum to %d, want %d", bucketSum, total)
 	}
 }
+
+// TestHistogramVec covers the labeled-histogram family: per-value isolation,
+// idempotent With, eager series creation, snapshot ordering and exact totals
+// under concurrent observation from many goroutines.
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("hv_seconds", "by version", "version", []float64{1, 2})
+	if hv.With("a") != hv.With("a") {
+		t.Fatal("With not idempotent")
+	}
+	hv.With("b") // eager creation: must appear in the snapshot at zero
+
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				hv.With("a").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if s := hv.With("a").Snapshot(); s.Count != goroutines*perG || s.Sum != float64(goroutines*perG) {
+		t.Fatalf("labeled histogram count=%d sum=%v", s.Count, s.Sum)
+	}
+	if s := hv.With("b").Snapshot(); s.Count != 0 {
+		t.Fatalf("untouched label observed %d", s.Count)
+	}
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 || snaps[0].Kind != KindHistogram || snaps[0].Label != "version" {
+		t.Fatalf("snapshot %+v", snaps)
+	}
+	lh := snaps[0].LabeledHists
+	if len(lh) != 2 || lh[0].Value != "a" || lh[1].Value != "b" {
+		t.Fatalf("labeled hists %+v", lh)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hv_seconds_bucket{version="a",le="1"} 40000`,
+		`hv_seconds_count{version="a"} 40000`,
+		`hv_seconds_count{version="b"} 0`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}

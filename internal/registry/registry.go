@@ -1,0 +1,452 @@
+package registry
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rerank"
+	"repro/internal/serve"
+)
+
+// Config parameterizes a Registry. The zero value of every field falls back
+// to the listed default; Root is required.
+type Config struct {
+	// Root is the versioned model store directory (one subdirectory per
+	// published version).
+	Root string
+	// CanaryPercent is the share of traffic (0–100) routed to a staged
+	// candidate version. 0 disables canary routing: a candidate then only
+	// receives shadow traffic until promoted.
+	CanaryPercent float64
+	// Shadow enables asynchronous shadow scoring of the candidate on a
+	// bounded worker pool (default off).
+	Shadow bool
+	// ShadowWorkers and ShadowQueue bound the shadow pool (defaults 2 and
+	// 64). When the queue is full, shadow work is shed and counted — never
+	// queued unboundedly and never allowed to delay responses.
+	ShadowWorkers int
+	ShadowQueue   int
+	// ShadowK is the ranking depth for the shadow divergence metrics
+	// (overlap@k, ILD@k; default 10).
+	ShadowK int
+	// Golden is the warm-up request set replayed against every loaded
+	// version before it may serve traffic. nil synthesizes WarmupRequests
+	// deterministic requests from the version's own manifest geometry.
+	Golden []serve.RerankRequest
+	// WarmupRequests is the synthesized golden-set size (default 16).
+	WarmupRequests int
+	// WarmupBudget is the per-request latency budget during warm-up
+	// (default 500ms — deliberately looser than the serving budget: warm-up
+	// pays first-touch allocation costs, and its job is catching models
+	// that are orders of magnitude off, not enforcing the p99).
+	WarmupBudget time.Duration
+	// RollbackExcess is the canary auto-rollback threshold: the candidate
+	// is demoted when its degrade rate exceeds the active model's by more
+	// than this fraction (default 0.10).
+	RollbackExcess float64
+	// MinCanarySamples is the minimum canary traffic before the
+	// auto-rollback comparison runs (default 50) — a single unlucky request
+	// must not kill a healthy candidate.
+	MinCanarySamples int64
+	// Registry receives the lifecycle metrics; nil means a private one.
+	// Pass the serving registry so /metrics carries both namespaces.
+	Registry *obs.Registry
+	// Loader loads one version's artifacts; nil uses serve.LoadModel. The
+	// seam exists for tests and fault injection.
+	Loader func(modelPath string) (serve.Scorer, serve.Manifest, error)
+	// Log receives operational messages; nil uses log.Printf.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShadowWorkers <= 0 {
+		c.ShadowWorkers = 2
+	}
+	if c.ShadowQueue <= 0 {
+		c.ShadowQueue = 64
+	}
+	if c.ShadowK <= 0 {
+		c.ShadowK = 10
+	}
+	if c.WarmupRequests <= 0 {
+		c.WarmupRequests = 16
+	}
+	if c.WarmupBudget <= 0 {
+		c.WarmupBudget = 500 * time.Millisecond
+	}
+	if c.RollbackExcess <= 0 {
+		c.RollbackExcess = 0.10
+	}
+	if c.MinCanarySamples <= 0 {
+		c.MinCanarySamples = 50
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Loader == nil {
+		c.Loader = func(path string) (serve.Scorer, serve.Manifest, error) {
+			return serve.LoadModel(path)
+		}
+	}
+	if c.Log == nil {
+		c.Log = log.Printf
+	}
+	return c
+}
+
+// version is one loaded model version with its served-traffic counters. The
+// counters live on the version (not the state snapshot) so they accumulate
+// across state swaps for as long as the version stays loaded.
+type version struct {
+	label  string
+	scorer serve.Scorer
+	man    serve.Manifest
+
+	requests atomic.Int64
+	degraded atomic.Int64
+	// demoted latches the auto-rollback decision so concurrent observers
+	// race to exactly one demotion.
+	demoted atomic.Bool
+}
+
+func (v *version) degradeRate() float64 {
+	n := v.requests.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(v.degraded.Load()) / float64(n)
+}
+
+// state is one immutable lifecycle snapshot. Mutations build a new state
+// and publish it with a single atomic store; the scoring path loads it once
+// per request, which is what makes every served triple coherent.
+type state struct {
+	active    *version
+	candidate *version
+	previous  *version // rollback target after a promotion
+}
+
+// Registry owns the loaded model versions and implements serve.Provider.
+// Scoring (Active/Pick/Observe) is lock-free; lifecycle operations (Load,
+// Promote, Rollback) serialize on mu and publish fresh state atomically.
+type Registry struct {
+	cfg       Config
+	mu        sync.Mutex
+	state     atomic.Pointer[state]
+	met       *lifecycleMetrics
+	shadow    *shadowPool
+	closeOnce sync.Once
+}
+
+// New opens a registry over cfg.Root. No version is loaded yet: call Load
+// (directly or via ActivateLatest) before serving.
+func New(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("registry: Config.Root is required")
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create root: %w", err)
+	}
+	r := &Registry{cfg: cfg, met: newLifecycleMetrics(cfg.Registry)}
+	r.state.Store(&state{})
+	if cfg.Shadow {
+		r.shadow = newShadowPool(cfg.ShadowWorkers, cfg.ShadowQueue, cfg.ShadowK, r.met, cfg.Log)
+	}
+	return r, nil
+}
+
+// Close drains the shadow pool; it is idempotent. Lifecycle and scoring
+// methods must not be called after Close.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() {
+		if r.shadow != nil {
+			r.shadow.close()
+		}
+	})
+}
+
+// ObsRegistry exposes the metrics registry (the one from Config, or the
+// private default) so a process can serve one /metrics namespace.
+func (r *Registry) ObsRegistry() *obs.Registry { return r.cfg.Registry }
+
+// Active implements serve.Provider.
+func (r *Registry) Active() serve.Pinned {
+	return r.pinOf(r.state.Load().active, false)
+}
+
+// Pick implements serve.Provider: the active model, or — while a candidate
+// is staged — the candidate for the configured fraction of the routing key
+// space. The split is deterministic in the key, so a given request always
+// lands on the same side while the state holds.
+func (r *Registry) Pick(key uint64) serve.Pinned {
+	st := r.state.Load()
+	v, canary := st.active, false
+	if st.candidate != nil && r.cfg.CanaryPercent > 0 &&
+		float64(key%10_000) < r.cfg.CanaryPercent*100 {
+		v, canary = st.candidate, true
+	}
+	pin := r.pinOf(v, canary)
+	if !canary && st.candidate != nil && r.shadow != nil {
+		cand := st.candidate
+		pin.Shadow = func(inst *rerank.Instance, scores []float64) {
+			r.shadow.submit(cand, inst, scores)
+		}
+	}
+	return pin
+}
+
+func (r *Registry) pinOf(v *version, canary bool) serve.Pinned {
+	if v == nil {
+		// Defensive: serving before the first Load. The pin carries a zero
+		// geometry, so every request fails validation with a 4xx instead of
+		// panicking the scoring path.
+		return serve.Pinned{Scorer: noModel{}, Version: "none"}
+	}
+	return serve.Pinned{
+		Scorer:   v.scorer,
+		Manifest: v.man,
+		Version:  v.label,
+		Canary:   canary,
+		Observe: func(outcome string, d time.Duration) {
+			r.observe(v, canary, outcome, d)
+		},
+	}
+}
+
+// noModel is the scorer served before any version is loaded; requests never
+// reach it because the zero manifest geometry rejects them at validation.
+type noModel struct{}
+
+func (noModel) Scores(*rerank.Instance) []float64 { return nil }
+func (noModel) Name() string                      { return "none" }
+
+// observe lands one request outcome in the per-version metrics and, for
+// canary traffic, evaluates the auto-rollback condition. It runs on the
+// request path: a handful of atomic ops, no locks unless a rollback fires.
+func (r *Registry) observe(v *version, canary bool, outcome string, d time.Duration) {
+	v.requests.Add(1)
+	r.met.requests.With(v.label).Inc()
+	r.met.latency.With(v.label).ObserveDuration(d)
+	if outcome != "ok" {
+		v.degraded.Add(1)
+		r.met.degraded.With(v.label).Inc()
+	}
+	if canary {
+		r.maybeAutoRollback(v)
+	}
+}
+
+// maybeAutoRollback demotes the candidate when its degrade rate exceeds the
+// active model's by more than the configured excess, after a minimum sample.
+// The demoted latch makes the decision fire exactly once even with many
+// concurrent observers.
+func (r *Registry) maybeAutoRollback(cand *version) {
+	st := r.state.Load()
+	if st.candidate != cand || st.active == nil {
+		return
+	}
+	n := cand.requests.Load()
+	if n < r.cfg.MinCanarySamples {
+		return
+	}
+	candRate := cand.degradeRate()
+	actRate := st.active.degradeRate()
+	if candRate <= actRate+r.cfg.RollbackExcess {
+		return
+	}
+	if !cand.demoted.CompareAndSwap(false, true) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st = r.state.Load()
+	if st.candidate != cand {
+		return // a racing lifecycle op already moved it
+	}
+	r.state.Store(&state{active: st.active, previous: st.previous})
+	r.met.rollbacks.With("auto").Inc()
+	r.cfg.Log("registry: auto-rollback of canary %s: degrade rate %.4f exceeds active %s rate %.4f by more than %.2f (%d canary requests)",
+		cand.label, candRate, st.active.label, actRate, r.cfg.RollbackExcess, n)
+}
+
+// Load implements the first two stages of the promotion pipeline for one
+// on-disk version: read and strictly validate the artifacts, replay the
+// golden warm-up set, and stage the version as the canary candidate — or
+// activate it directly when nothing is active yet (process startup).
+func (r *Registry) Load(label string) error {
+	if err := ValidLabel(label); err != nil {
+		return fmt.Errorf("%w: %v", serve.ErrUnknownVersion, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state.Load()
+	if st.active != nil && st.active.label == label {
+		return fmt.Errorf("%w: version %s is already active", serve.ErrLifecycleConflict, label)
+	}
+	if st.candidate != nil && st.candidate.label == label {
+		return fmt.Errorf("%w: version %s is already the candidate", serve.ErrLifecycleConflict, label)
+	}
+	v, err := r.loadVersion(label)
+	if err != nil {
+		return err
+	}
+	// Touch the per-version series so /metrics shows the new version at
+	// zero the moment it is loaded, not at its first request.
+	r.met.requests.With(label)
+	r.met.degraded.With(label)
+	r.met.latency.With(label)
+	r.met.loads.Inc()
+	if st.active == nil {
+		r.state.Store(&state{active: v})
+		r.cfg.Log("registry: activated %s (no prior active version)", label)
+		return nil
+	}
+	r.state.Store(&state{active: st.active, candidate: v, previous: st.previous})
+	r.cfg.Log("registry: staged %s as canary candidate (%.1f%% of traffic, shadow %v)",
+		label, r.cfg.CanaryPercent, r.shadow != nil)
+	return nil
+}
+
+// loadVersion reads one version from disk and warm-up validates it.
+func (r *Registry) loadVersion(label string) (*version, error) {
+	dir := filepath.Join(r.cfg.Root, label)
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("%w: %s not found in %s", serve.ErrUnknownVersion, label, r.cfg.Root)
+	}
+	scorer, man, err := r.cfg.Loader(ModelPath(r.cfg.Root, label))
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %s: %w", label, err)
+	}
+	if err := r.warmup(label, scorer, man); err != nil {
+		r.met.warmupFailures.Inc()
+		return nil, fmt.Errorf("registry: warm-up of %s failed: %w", label, err)
+	}
+	return &version{label: label, scorer: scorer, man: man}, nil
+}
+
+// ActivateLatest loads the newest on-disk version as the active model — the
+// process-startup path of rapidserve -model-root.
+func (r *Registry) ActivateLatest() (string, error) {
+	versions, err := Scan(r.cfg.Root)
+	if err != nil {
+		return "", err
+	}
+	if len(versions) == 0 {
+		return "", fmt.Errorf("registry: no versions in %s (publish one with rapidtrain -publish)", r.cfg.Root)
+	}
+	latest := versions[len(versions)-1]
+	return latest, r.Load(latest)
+}
+
+// Promote makes the named candidate the active model; the displaced active
+// version stays loaded as the rollback target.
+func (r *Registry) Promote(label string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state.Load()
+	if st.candidate == nil {
+		return fmt.Errorf("%w: no candidate staged (POST /admin/models/load first)", serve.ErrLifecycleConflict)
+	}
+	if st.candidate.label != label {
+		return fmt.Errorf("%w: candidate is %s, not %s", serve.ErrLifecycleConflict, st.candidate.label, label)
+	}
+	r.state.Store(&state{active: st.candidate, previous: st.active})
+	r.met.promotions.Inc()
+	r.cfg.Log("registry: promoted %s to active (previous %s kept for rollback)", label, st.active.label)
+	return nil
+}
+
+// Rollback aborts the staged candidate, or — with no candidate — reverts
+// the active model to the previous one. Exactly one of the two; with
+// neither a candidate nor a previous version it is a conflict.
+func (r *Registry) Rollback() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state.Load()
+	switch {
+	case st.candidate != nil:
+		r.state.Store(&state{active: st.active, previous: st.previous})
+		r.met.rollbacks.With("manual").Inc()
+		desc := fmt.Sprintf("aborted candidate %s; active stays %s", st.candidate.label, st.active.label)
+		r.cfg.Log("registry: %s", desc)
+		return desc, nil
+	case st.previous != nil:
+		r.state.Store(&state{active: st.previous})
+		r.met.rollbacks.With("manual").Inc()
+		desc := fmt.Sprintf("reverted active %s to %s", st.active.label, st.previous.label)
+		r.cfg.Log("registry: %s", desc)
+		return desc, nil
+	default:
+		return "", fmt.Errorf("%w: nothing to roll back (no candidate, no previous version)", serve.ErrLifecycleConflict)
+	}
+}
+
+// Versions implements the admin listing: every committed on-disk version
+// plus any loaded version, each with its lifecycle state and served-traffic
+// counters.
+func (r *Registry) Versions() ([]serve.VersionStatus, error) {
+	onDisk, err := Scan(r.cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	st := r.state.Load()
+	stateOf := map[string]*version{}
+	labelState := map[string]string{}
+	if st.active != nil {
+		stateOf[st.active.label], labelState[st.active.label] = st.active, "active"
+	}
+	if st.candidate != nil {
+		stateOf[st.candidate.label], labelState[st.candidate.label] = st.candidate, "candidate"
+	}
+	if st.previous != nil {
+		stateOf[st.previous.label], labelState[st.previous.label] = st.previous, "previous"
+	}
+	seen := map[string]bool{}
+	var out []serve.VersionStatus
+	add := func(label string) {
+		if seen[label] {
+			return
+		}
+		seen[label] = true
+		vs := serve.VersionStatus{Version: label, State: "available"}
+		if v := stateOf[label]; v != nil {
+			vs.State = labelState[label]
+			vs.Dataset = v.man.Dataset
+			vs.Requests = v.requests.Load()
+			vs.Degraded = v.degraded.Load()
+		}
+		out = append(out, vs)
+	}
+	for _, label := range onDisk {
+		add(label)
+	}
+	// Loaded versions whose directory vanished (operator cleanup) still
+	// serve; list them so the admin view matches reality.
+	for label := range stateOf {
+		add(label)
+	}
+	return out, nil
+}
+
+// Rescan re-reads the store root (wired to SIGHUP in rapidserve) and logs
+// the available versions; it returns the scan so callers can act on it.
+func (r *Registry) Rescan() ([]string, error) {
+	versions, err := Scan(r.cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	st := r.state.Load()
+	active := "none"
+	if st.active != nil {
+		active = st.active.label
+	}
+	r.cfg.Log("registry: rescan of %s found %d version(s) %v (active %s)", r.cfg.Root, len(versions), versions, active)
+	return versions, nil
+}

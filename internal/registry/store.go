@@ -1,0 +1,154 @@
+// Package registry is the model lifecycle subsystem: a versioned on-disk
+// model store, an in-memory registry that hot-swaps loaded versions behind
+// one atomic pointer, and the promotion pipeline that takes a version from
+// "published by rapidtrain" to "serving live traffic" — load, warm-up
+// validation against a golden request set, canary evaluation on a
+// deterministic traffic fraction, then promote or (auto-)rollback. A shadow
+// mode scores the candidate asynchronously off the request path and records
+// its divergence from the active model without affecting responses.
+//
+// The registry implements serve.Provider, so the serving layer stays a pure
+// data plane: it pins one coherent (model, manifest, version) triple per
+// request from a single atomic snapshot and never blocks on lifecycle
+// operations. Lifecycle mutations (load, promote, rollback) serialize on a
+// mutex and publish a fresh immutable state value; scoring only ever loads
+// the pointer.
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+// File names inside one version directory. A version is committed iff both
+// files exist; the directory itself appears atomically (staging + rename),
+// so a concurrent scan never observes a half-written version.
+const (
+	ModelFile    = "model.gob"
+	ManifestFile = "model.json"
+)
+
+// ModelPath is the weights path of one version inside a store root.
+func ModelPath(root, version string) string {
+	return filepath.Join(root, version, ModelFile)
+}
+
+// ValidLabel rejects version labels that could escape the store root or
+// collide with staging directories. Labels are path components chosen by
+// operators and admin API callers — they must never be trusted as paths.
+func ValidLabel(label string) error {
+	switch {
+	case label == "":
+		return fmt.Errorf("empty version label")
+	case strings.HasPrefix(label, "."):
+		return fmt.Errorf("version label %q may not start with '.'", label)
+	case strings.ContainsAny(label, `/\`):
+		return fmt.Errorf("version label %q may not contain path separators", label)
+	}
+	return nil
+}
+
+// Publish writes a trained model and its manifest into a fresh version
+// directory under root and commits it atomically: the files are written and
+// fsynced inside a hidden staging directory, the staging directory is
+// fsynced, renamed to its final name, and the root directory is fsynced so
+// the rename itself survives a crash. A concurrently scanning or loading
+// server either sees the complete version or nothing. An empty label
+// generates a UTC-timestamped one (v20060102T150405, suffixed on collision).
+func Publish(root, label string, ps *nn.ParamSet, man serve.Manifest) (string, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", fmt.Errorf("registry: create root: %w", err)
+	}
+	if label == "" {
+		label = nextLabel(root)
+	} else if err := ValidLabel(label); err != nil {
+		return "", fmt.Errorf("registry: %w", err)
+	}
+	final := filepath.Join(root, label)
+	if _, err := os.Stat(final); err == nil {
+		return "", fmt.Errorf("registry: version %s already exists in %s", label, root)
+	}
+
+	staging, err := os.MkdirTemp(root, ".staging-*")
+	if err != nil {
+		return "", fmt.Errorf("registry: staging dir: %w", err)
+	}
+	defer os.RemoveAll(staging) // no-op after the rename succeeds
+
+	if err := ps.SaveFileAtomic(filepath.Join(staging, ModelFile)); err != nil {
+		return "", err
+	}
+	if err := serve.WriteManifestFileAtomic(filepath.Join(staging, ManifestFile), man); err != nil {
+		return "", err
+	}
+	if err := syncDir(staging); err != nil {
+		return "", err
+	}
+	if err := os.Rename(staging, final); err != nil {
+		return "", fmt.Errorf("registry: commit version %s: %w", label, err)
+	}
+	if err := syncDir(root); err != nil {
+		return "", err
+	}
+	return label, nil
+}
+
+// nextLabel generates a fresh timestamped label, suffixing a counter when
+// two publishes land within the same second.
+func nextLabel(root string) string {
+	base := "v" + time.Now().UTC().Format("20060102T150405")
+	label := base
+	for i := 2; ; i++ {
+		if _, err := os.Stat(filepath.Join(root, label)); os.IsNotExist(err) {
+			return label
+		}
+		label = fmt.Sprintf("%s-%d", base, i)
+	}
+}
+
+// Scan lists the committed versions under root, sorted lexicographically
+// (timestamped labels therefore sort oldest-first). Hidden entries — which
+// include in-flight staging directories — and directories missing either
+// artifact are skipped: they are not versions yet.
+func Scan(root string) ([]string, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("registry: scan %s: %w", root, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), ModelFile)); err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), ManifestFile)); err != nil {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a preceding rename or file creation in it is
+// durable — without it a crash can lose a "successfully committed" version.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("registry: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("registry: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubAdmin scripts the lifecycle control plane so the handler tests cover
+// only what serve owns: routing, guarding and error mapping.
+type stubAdmin struct {
+	loadErr    error
+	promoteErr error
+	loaded     []string
+}
+
+func (a *stubAdmin) Versions() ([]VersionStatus, error) {
+	return []VersionStatus{{Version: "v1", State: "active", Requests: 7}}, nil
+}
+func (a *stubAdmin) Load(v string) error {
+	if a.loadErr != nil {
+		return a.loadErr
+	}
+	a.loaded = append(a.loaded, v)
+	return nil
+}
+func (a *stubAdmin) Promote(v string) error { return a.promoteErr }
+func (a *stubAdmin) Rollback() (string, error) {
+	return "aborted candidate v2; active stays v1", nil
+}
+
+func adminServer(t *testing.T, admin Admin, token string) http.Handler {
+	t.Helper()
+	s := NewServer(stubScorer{}, Manifest{Dataset: "test", Config: testConfig()},
+		Config{Admin: admin, AdminToken: token})
+	s.Log = t.Logf
+	return s.Handler()
+}
+
+func adminRequest(method, path, body, bearer, remoteAddr string) *http.Request {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+bearer)
+	}
+	if remoteAddr != "" {
+		req.RemoteAddr = remoteAddr
+	}
+	return req
+}
+
+func TestAdminTokenGuard(t *testing.T) {
+	h := adminServer(t, &stubAdmin{}, "sekrit")
+	cases := []struct {
+		name   string
+		bearer string
+		want   int
+	}{
+		{"no token", "", http.StatusForbidden},
+		{"wrong token", "guess", http.StatusForbidden},
+		{"right token", "sekrit", http.StatusOK},
+	}
+	for _, tc := range cases {
+		w := httptest.NewRecorder()
+		// A non-loopback peer: only the token may admit it.
+		h.ServeHTTP(w, adminRequest(http.MethodGet, "/admin/models", "", tc.bearer, "203.0.113.9:4711"))
+		if w.Code != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, w.Code, tc.want)
+		}
+	}
+}
+
+func TestAdminLoopbackGuard(t *testing.T) {
+	// With no token configured, loopback peers are allowed and everyone else
+	// is rejected — model swapping is never open to the network by default.
+	h := adminServer(t, &stubAdmin{}, "")
+	cases := []struct {
+		remote string
+		want   int
+	}{
+		{"127.0.0.1:4711", http.StatusOK},
+		{"[::1]:4711", http.StatusOK},
+		{"203.0.113.9:4711", http.StatusForbidden},
+		{"not-an-addr", http.StatusForbidden},
+	}
+	for _, tc := range cases {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, adminRequest(http.MethodGet, "/admin/models", "", "", tc.remote))
+		if w.Code != tc.want {
+			t.Fatalf("peer %s: status %d, want %d", tc.remote, w.Code, tc.want)
+		}
+	}
+}
+
+func TestAdminListVersions(t *testing.T) {
+	h := adminServer(t, &stubAdmin{}, "")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, adminRequest(http.MethodGet, "/admin/models", "", "", "127.0.0.1:1"))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Versions []VersionStatus `json:"versions"`
+	}
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Versions) != 1 || resp.Versions[0].Version != "v1" || resp.Versions[0].Requests != 7 {
+		t.Fatalf("versions %+v", resp.Versions)
+	}
+}
+
+func TestAdminErrorMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"unknown version", fmt.Errorf("wrap: %w", ErrUnknownVersion), http.StatusNotFound},
+		{"lifecycle conflict", fmt.Errorf("wrap: %w", ErrLifecycleConflict), http.StatusConflict},
+		{"warm-up failure", fmt.Errorf("warm-up of v2 failed: non-finite score"), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		h := adminServer(t, &stubAdmin{loadErr: tc.err}, "")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, adminRequest(http.MethodPost, "/admin/models/load",
+			`{"version":"v2"}`, "", "127.0.0.1:1"))
+		if w.Code != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, w.Code, tc.want)
+		}
+		// The lifecycle error must reach the operator verbatim.
+		if !strings.Contains(w.Body.String(), tc.err.Error()) {
+			t.Fatalf("%s: body %q does not carry the error", tc.name, w.Body)
+		}
+	}
+}
+
+func TestAdminBadRequests(t *testing.T) {
+	admin := &stubAdmin{}
+	h := adminServer(t, admin, "")
+	for name, body := range map[string]string{
+		"not json":        "{",
+		"missing version": `{}`,
+		"empty version":   `{"version":""}`,
+	} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, adminRequest(http.MethodPost, "/admin/models/load", body, "", "127.0.0.1:1"))
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, w.Code)
+		}
+	}
+	if len(admin.loaded) != 0 {
+		t.Fatalf("bad requests reached the control plane: %v", admin.loaded)
+	}
+}
+
+func TestAdminAbsentWithoutConfig(t *testing.T) {
+	// A server without Config.Admin must expose no admin surface at all.
+	s := testServer(t, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, adminRequest(http.MethodGet, "/admin/models", "", "", "127.0.0.1:1"))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("admin surface present without Config.Admin: status %d", w.Code)
+	}
+}
+
+func TestRetryAfterDerivedFromPressure(t *testing.T) {
+	// Idle server: the hint must be a positive integer no matter the jitter.
+	s := stubServer(t, Config{MaxInFlight: 4})
+	for i := 0; i < 50; i++ {
+		sec, err := strconv.Atoi(s.retryAfter())
+		if err != nil || sec < 1 {
+			t.Fatalf("idle Retry-After %q", s.retryAfter())
+		}
+		if sec > 2 { // base 1 ± 1s jitter
+			t.Fatalf("idle Retry-After %d too far out", sec)
+		}
+	}
+	// Saturated server: the base rises to 4, so even the lowest jitter stays
+	// above the idle hint — retries back off harder when pressure is real.
+	for i := 0; i < 4; i++ {
+		s.sem <- struct{}{}
+	}
+	for i := 0; i < 50; i++ {
+		sec, _ := strconv.Atoi(s.retryAfter())
+		if sec < 3 || sec > 5 {
+			t.Fatalf("saturated Retry-After %d, want 3..5", sec)
+		}
+	}
+}
+
+func TestRouteKeyDeterministicAndSensitive(t *testing.T) {
+	a := validRequest()
+	b := validRequest()
+	if RouteKey(a) != RouteKey(b) {
+		t.Fatal("identical requests produced different routing keys")
+	}
+	b.UserFeatures[0] += 0.5
+	if RouteKey(a) == RouteKey(b) {
+		t.Fatal("routing key ignores user features")
+	}
+	c := validRequest()
+	c.Items[0].ID = 99
+	if RouteKey(a) == RouteKey(c) {
+		t.Fatal("routing key ignores item ids")
+	}
+}
+
+func TestProviderPinFlowsToResponse(t *testing.T) {
+	// A provider-labeled pin must surface in the response wire format and
+	// reach the Observe hook with the terminal outcome.
+	var observed []string
+	p := staticProvider{pin: Pinned{
+		Scorer:   stubScorer{},
+		Manifest: Manifest{Dataset: "test", Config: testConfig()},
+		Version:  "v7",
+		Canary:   true,
+		Observe: func(outcome string, d time.Duration) {
+			observed = append(observed, outcome)
+		},
+	}}
+	s := NewProviderServer(p, Config{})
+	s.Log = t.Logf
+	body, _ := json.Marshal(validRequest())
+	w := postRerank(t, s.Handler(), body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp RerankResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != "v7" || !resp.Canary {
+		t.Fatalf("response labels %q canary %v", resp.ModelVersion, resp.Canary)
+	}
+	if len(observed) != 1 || observed[0] != "ok" {
+		t.Fatalf("observed outcomes %v", observed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
@@ -117,6 +118,46 @@ func decodeManifest(r io.Reader) (Manifest, error) {
 		return man, fmt.Errorf("invalid model config: %w", err)
 	}
 	return man, nil
+}
+
+// WriteManifestFileAtomic writes a manifest with the same atomic discipline
+// as the weights (temp file, fsync, rename, fsync the directory): the
+// (weights, manifest) pair on disk is only ever replaced by a complete file,
+// never observed half-written by a concurrently starting server, and the
+// rename survives a crash. rapidtrain and the registry store both publish
+// through this.
+func WriteManifestFileAtomic(path string, man Manifest) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("manifest temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err = enc.Encode(man); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open dir for sync: %w", err)
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // buildModel constructs the architecture, converting any constructor panic

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -124,5 +126,103 @@ func TestLoadModelMissingFiles(t *testing.T) {
 	}
 	if _, _, err := LoadModel(modelPath); err == nil {
 		t.Fatal("corrupt weights accepted")
+	}
+}
+
+// TestLoadModelCorruptArtifacts covers the ways a weights file goes bad on
+// real disks — truncation mid-write, zero-byte files from a crashed create,
+// bit rot past the header — and requires a descriptive startup error for
+// each, never a panic or a silently half-loaded model.
+func TestLoadModelCorruptArtifacts(t *testing.T) {
+	cfg := testConfig()
+	path := writeArtifacts(t, cfg, cfg)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("zero-byte weights", func(t *testing.T) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadModel(path); err == nil {
+			t.Fatal("zero-byte weights accepted")
+		}
+	})
+	// Truncation at any point — inside the gob header, mid-stream, and one
+	// byte short of complete — must fail cleanly.
+	for _, frac := range []float64{0.01, 0.5, 0.95} {
+		cut := int(float64(len(whole)) * frac)
+		t.Run(fmt.Sprintf("truncated at %d/%d bytes", cut, len(whole)), func(t *testing.T) {
+			if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := LoadModel(path); err == nil {
+				t.Fatal("truncated weights accepted")
+			}
+		})
+	}
+	t.Run("truncated by one byte", func(t *testing.T) {
+		if err := os.WriteFile(path, whole[:len(whole)-1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadModel(path); err == nil {
+			t.Fatal("almost-complete weights accepted")
+		}
+	})
+	t.Run("zero-byte manifest", func(t *testing.T) {
+		if err := os.WriteFile(path, whole, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ManifestPath(path), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadModel(path); err == nil {
+			t.Fatal("zero-byte manifest accepted")
+		}
+	})
+}
+
+// TestLoadModelErrorsAreDescriptive pins the operator experience: each
+// failure class must name what disagreed — the file, the parameter or the
+// dimension — because "load failed" at 3am is not actionable.
+func TestLoadModelErrorsAreDescriptive(t *testing.T) {
+	small := testConfig()
+	big := small
+	big.Hidden = 8
+	path := writeArtifacts(t, small, big)
+	_, _, err := LoadModel(path)
+	if err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// The error must name the disagreeing parameter and both shapes.
+	for _, want := range []string{"manifest", "shape mismatch", "parameter", "snapshot"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("mismatch error %q does not mention %q", err, want)
+		}
+	}
+
+	cfg := testConfig()
+	path = writeArtifacts(t, cfg, cfg)
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadModel(path)
+	if err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("corruption error %q does not name the file", err)
+	}
+
+	bad := cfg
+	bad.Topics = -3
+	path = writeArtifacts(t, cfg, bad)
+	_, _, err = LoadModel(path)
+	if err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if !strings.Contains(err.Error(), "Topics") {
+		t.Fatalf("geometry error %q does not name the bad dimension", err)
 	}
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"repro/internal/rerank"
+)
+
+// Pinned is one coherent serving assignment: the scorer, its manifest and
+// its version label, captured together from a single provider snapshot. A
+// request pins exactly one Pinned and uses it end to end — decode-time
+// geometry validation, scoring and response labeling all read the same
+// triple, so a version swap concurrent with the request can never produce a
+// torn read (scores from one model attributed to another).
+type Pinned struct {
+	Scorer   Scorer
+	Manifest Manifest
+	// Version labels the model version serving this request; empty for the
+	// single-model deployment shape (then it is omitted from the response).
+	Version string
+	// Canary marks a request routed to a candidate version under canary
+	// evaluation rather than the active model.
+	Canary bool
+	// Observe, if non-nil, receives the request's terminal outcome for this
+	// version — "ok" or a degrade reason ("deadline", "error", "panic") —
+	// with the end-to-end latency. The model lifecycle layer feeds its
+	// per-version metrics and canary auto-rollback decision from here.
+	Observe func(outcome string, latency time.Duration)
+	// Shadow, if non-nil, is invoked after a successful scoring pass with
+	// the request instance and the primary model's scores (aligned with
+	// inst.Items). Implementations must not block: shadow work is scored
+	// asynchronously off the request path and shed under pressure.
+	Shadow func(inst *rerank.Instance, scores []float64)
+}
+
+// Provider hands the server a model per request. It is the seam between the
+// serving data plane and the model lifecycle control plane: a provider may
+// be a fixed single model (staticProvider) or a versioned registry that
+// routes a deterministic traffic fraction to a canary candidate while
+// versions hot-swap underneath (internal/registry).
+//
+// Both methods must be safe for concurrent use and must return a coherent
+// triple assembled from one atomic snapshot of the provider's state.
+type Provider interface {
+	// Active returns the current active model — the one /healthz reports
+	// and warm paths should assume.
+	Active() Pinned
+	// Pick returns the model that serves the request with the given routing
+	// key: the active model, or the canary candidate for the configured
+	// fraction of the key space.
+	Pick(key uint64) Pinned
+}
+
+// staticProvider serves one fixed model forever — the original single-model
+// deployment shape, kept as the NewServer default so a process without a
+// registry pays zero lifecycle overhead.
+type staticProvider struct{ pin Pinned }
+
+func (p staticProvider) Active() Pinned     { return p.pin }
+func (p staticProvider) Pick(uint64) Pinned { return p.pin }
+
+// RouteKey derives the deterministic canary routing key for a request:
+// FNV-1a over the user feature vector and the candidate item ids. The same
+// logical request always lands on the same side of the canary split, so a
+// user's experience is stable across retries and a misbehaving canary is
+// reproducible from its request alone — the properties coin-flip routing
+// gives up.
+func RouteKey(req *RerankRequest) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, f := range req.UserFeatures {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	for _, it := range req.Items {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(it.ID)))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -23,6 +23,11 @@
 // degradations by reason, shed and panic counts, queue-wait / scoring /
 // end-to-end latency histograms and an in-flight gauge. Config.Pprof
 // additionally mounts net/http/pprof under /debug/pprof/.
+//
+// The server scores through a Provider — a per-request (model, manifest,
+// version) pin — so a model lifecycle layer (internal/registry) can swap,
+// canary and shadow versions underneath live traffic; NewServer wraps a
+// fixed model in a static provider for the single-model shape.
 package serve
 
 import (
@@ -31,13 +36,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rerank"
 )
@@ -86,6 +92,15 @@ type Config struct {
 	// handler. Opt-in: profiling endpoints expose heap contents and must be
 	// enabled deliberately.
 	Pprof bool
+	// Admin, when set, mounts the model lifecycle endpoints (GET
+	// /admin/models, POST /admin/models/{load,promote,rollback}) backed by
+	// this control plane. nil (the default) exposes no admin surface.
+	Admin Admin
+	// AdminToken guards the admin endpoints: callers must present it as
+	// "Authorization: Bearer <token>". Empty restricts admin access to
+	// loopback peers instead — model swapping is never unauthenticated on a
+	// non-local listener.
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -175,9 +190,7 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 // Server serves a trained model behind the robustness envelope above.
 type Server struct {
 	cfg      Config
-	model    Scorer
-	geom     core.Config
-	manifest Manifest
+	provider Provider
 	sem      chan struct{}
 	ready    atomic.Bool
 	reg      *obs.Registry
@@ -189,9 +202,17 @@ type Server struct {
 	Log func(format string, args ...any)
 }
 
-// NewServer wraps a scorer with the hardened handler chain. man.Config must
-// describe the scorer's instance geometry (it validates incoming requests).
+// NewServer wraps a single fixed scorer with the hardened handler chain.
+// man.Config must describe the scorer's instance geometry (it validates
+// incoming requests). For hot-swappable versions use NewProviderServer.
 func NewServer(model Scorer, man Manifest, cfg Config) *Server {
+	return NewProviderServer(staticProvider{pin: Pinned{Scorer: model, Manifest: man}}, cfg)
+}
+
+// NewProviderServer builds a server that asks p for the (model, manifest,
+// version) triple of every request — the deployment shape where a registry
+// swaps, canaries and shadows model versions underneath live traffic.
+func NewProviderServer(p Provider, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	if reg == nil {
@@ -199,9 +220,7 @@ func NewServer(model Scorer, man Manifest, cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:      cfg,
-		model:    model,
-		geom:     man.Config,
-		manifest: man,
+		provider: p,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		reg:      reg,
 		met:      newServeMetrics(reg),
@@ -238,6 +257,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	if s.cfg.Admin != nil {
+		s.mountAdmin(mux)
+	}
 	if s.cfg.Pprof {
 		obs.RegisterPprof(mux)
 	}
@@ -286,7 +308,12 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	inst, err := ToInstance(s.geom, &req)
+	// Pin one coherent (model, manifest, version) triple before validating:
+	// the pinned version's geometry is the contract the request must meet,
+	// and the same pin serves scoring and response labeling, so a version
+	// swap mid-request can never mix models.
+	pin := s.provider.Pick(RouteKey(&req))
+	inst, err := ToInstance(pin.Manifest.Config, &req)
 	if err != nil {
 		s.met.badInput.Inc()
 		s.met.responses.With("bad_input").Inc()
@@ -308,7 +335,7 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	case <-admit.C:
 		s.met.shed.Inc()
 		s.met.responses.With("shed").Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 		return
 	case <-r.Context().Done():
@@ -343,10 +370,11 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		done <- scoreOutcome{scores: s.model.Scores(inst)}
+		done <- scoreOutcome{scores: pin.Scorer.Scores(inst)}
 	}()
 
 	var resp RerankResponse
+	outcome := "ok"
 	select {
 	case out := <-done:
 		if out.err != nil {
@@ -355,6 +383,7 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 				reason = "panic"
 			}
 			resp = s.degrade(inst, reason)
+			outcome = reason
 		} else {
 			order := rerank.OrderByScores(inst.Items, out.scores)
 			pos := make(map[int]int, len(inst.Items))
@@ -367,15 +396,39 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 			}
 			resp = RerankResponse{Ranked: order, Scores: ordered}
 			s.met.responsesOK.Inc()
+			if pin.Shadow != nil {
+				// Off-path shadow scoring: submit and move on; the shadow
+				// pool sheds under pressure rather than delaying responses.
+				pin.Shadow(inst, out.scores)
+			}
 		}
 	case <-ctx.Done():
 		resp = s.degrade(inst, "deadline")
+		outcome = "deadline"
 	}
+	resp.ModelVersion = pin.Version
+	resp.Canary = pin.Canary
 	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1000
+	if pin.Observe != nil {
+		pin.Observe(outcome, time.Since(start))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.Log("serve: encode response: %v", err)
 	}
+}
+
+// retryAfter derives the 429 backoff hint from current pressure instead of a
+// constant: an idle-but-bursty server suggests 1s, a saturated one up to 4s,
+// and ±1s of jitter spreads the retries of a shed wave so the clients do not
+// come back in lockstep and shed again.
+func (s *Server) retryAfter() string {
+	base := 1 + (3*len(s.sem))/cap(s.sem)
+	sec := base + rand.IntN(3) - 1
+	if sec < 1 {
+		sec = 1
+	}
+	return strconv.Itoa(sec)
 }
 
 // degrade builds the graceful-degradation response: the initial ranker's
@@ -390,15 +443,20 @@ func (s *Server) degrade(inst *rerank.Instance, reason string) RerankResponse {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	active := s.provider.Active()
+	payload := map[string]any{
 		"status":  "ok",
-		"dataset": s.manifest.Dataset,
-		"model":   s.model.Name(),
-		"topics":  s.geom.Topics,
-		"hidden":  s.geom.Hidden,
+		"dataset": active.Manifest.Dataset,
+		"model":   active.Scorer.Name(),
+		"topics":  active.Manifest.Config.Topics,
+		"hidden":  active.Manifest.Config.Hidden,
 		"stats":   s.Stats(),
-	})
+	}
+	if active.Version != "" {
+		payload["version"] = active.Version
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(payload)
 }
 
 // handleReady is the readiness probe: 200 while the server accepts traffic,

@@ -40,7 +40,12 @@ type RerankResponse struct {
 	Scores         []float64 `json:"scores"` // aligned with Ranked
 	Degraded       bool      `json:"degraded,omitempty"`
 	DegradedReason string    `json:"degraded_reason,omitempty"`
-	LatencyMS      float64   `json:"latency_ms"`
+	// ModelVersion labels the registry version that served the request
+	// (empty in the single-model deployment shape); Canary marks requests
+	// routed to a candidate under canary evaluation.
+	ModelVersion string  `json:"model_version,omitempty"`
+	Canary       bool    `json:"canary,omitempty"`
+	LatencyMS    float64 `json:"latency_ms"`
 }
 
 // ToInstance validates the wire request against the model geometry and

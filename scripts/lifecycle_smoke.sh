@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Lifecycle smoke test: the full model-lifecycle path through the real
+# binaries, end to end —
+#
+#   1. train two tiny models and publish both into a versioned store
+#      (rapidtrain -publish),
+#   2. serve the store (rapidserve -model-root): the newest version activates,
+#   3. load the older version as a canary candidate and promote it through
+#      the admin API,
+#   4. assert GET /admin/models tracks the lifecycle states and /metrics
+#      exposes per-version series for BOTH versions.
+#
+# Run from the repo root: ./scripts/lifecycle_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+STORE="$WORK/models"
+ADDR="127.0.0.1:18080"
+TOKEN="smoke-admin-token"
+
+echo "== build"
+go build -o "$WORK/rapidtrain" ./cmd/rapidtrain
+go build -o "$WORK/rapidserve" ./cmd/rapidserve
+
+echo "== train and publish two versions"
+"$WORK/rapidtrain" -dataset taobao -scale 0.02 -seed 1 -out "$WORK/m1.gob" -publish "$STORE" 2>&1 | tail -2
+"$WORK/rapidtrain" -dataset taobao -scale 0.02 -seed 2 -out "$WORK/m2.gob" -publish "$STORE" 2>&1 | tail -2
+
+echo "== serve the store"
+"$WORK/rapidserve" -model-root "$STORE" -addr "$ADDR" -admin-token "$TOKEN" \
+    -canary-pct 50 -shadow &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    curl -fs "http://$ADDR/readyz" >/dev/null 2>&1 && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: rapidserve died on startup"; exit 1; }
+    sleep 0.2
+done
+curl -fs "http://$ADDR/readyz" >/dev/null || { echo "FAIL: server never became ready"; exit 1; }
+
+admin() { # admin METHOD PATH [BODY]
+    local method="$1" path="$2" body="${3:-}"
+    curl -fs -X "$method" -H "Authorization: Bearer $TOKEN" \
+        ${body:+-d "$body"} "http://$ADDR$path"
+}
+
+echo "== discover versions"
+LIST="$(admin GET /admin/models)"
+echo "$LIST"
+mapfile -t VERSIONS < <(grep -o '"version":"[^"]*"' <<<"$LIST" | cut -d'"' -f4 | sort -u)
+[ "${#VERSIONS[@]}" -eq 2 ] || { echo "FAIL: expected 2 versions, got ${#VERSIONS[@]}"; exit 1; }
+OLD="${VERSIONS[0]}"   # published first; the newest auto-activated
+NEW="${VERSIONS[1]}"
+grep -q "\"version\":\"$NEW\",\"state\":\"active\"" <<<"$LIST" \
+    || { echo "FAIL: newest version $NEW is not active at startup"; exit 1; }
+
+echo "== load $OLD as canary candidate"
+admin POST /admin/models/load "{\"version\":\"$OLD\"}" >/dev/null
+LIST="$(admin GET /admin/models)"
+grep -q "\"version\":\"$OLD\",\"state\":\"candidate\"" <<<"$LIST" \
+    || { echo "FAIL: $OLD is not the candidate after load"; exit 1; }
+
+echo "== promote $OLD"
+admin POST /admin/models/promote "{\"version\":\"$OLD\"}" >/dev/null
+LIST="$(admin GET /admin/models)"
+grep -q "\"version\":\"$OLD\",\"state\":\"active\"" <<<"$LIST" \
+    || { echo "FAIL: $OLD is not active after promote"; exit 1; }
+grep -q "\"version\":\"$NEW\",\"state\":\"previous\"" <<<"$LIST" \
+    || { echo "FAIL: $NEW is not kept as the rollback target"; exit 1; }
+
+echo "== per-version metrics for both versions"
+METRICS="$(curl -fs "http://$ADDR/metrics")"
+for v in "$OLD" "$NEW"; do
+    grep -q "rapid_model_requests_total{version=\"$v\"}" <<<"$METRICS" \
+        || { echo "FAIL: /metrics has no request series for $v"; exit 1; }
+    grep -q "rapid_model_request_latency_seconds_bucket{version=\"$v\"" <<<"$METRICS" \
+        || { echo "FAIL: /metrics has no latency histogram for $v"; exit 1; }
+done
+grep -q "rapid_model_promotions_total 1" <<<"$METRICS" \
+    || { echo "FAIL: promotion not counted"; exit 1; }
+
+echo "== rollback reverts to $NEW"
+admin POST /admin/models/rollback >/dev/null
+LIST="$(admin GET /admin/models)"
+grep -q "\"version\":\"$NEW\",\"state\":\"active\"" <<<"$LIST" \
+    || { echo "FAIL: rollback did not restore $NEW"; exit 1; }
+
+echo "== admin guard rejects bad tokens"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer wrong" \
+    "http://$ADDR/admin/models")"
+[ "$CODE" = 403 ] || { echo "FAIL: wrong token got $CODE, want 403"; exit 1; }
+
+echo "PASS: model lifecycle smoke"
