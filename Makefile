@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke bench bench-json
+.PHONY: check build vet fmt test test-short race fuzz smoke bench bench-json bench-batch bench-batch-smoke
 
 check: vet fmt test
 
@@ -53,3 +53,14 @@ bench:
 # pre-change baseline. Slow — includes a full Table II(a) experiment.
 bench-json:
 	$(GO) run ./cmd/rapidbench -benchjson BENCH_PR2.json
+
+# Batched-inference perf snapshot: single-request vs ScoreBatch at batch
+# sizes 1/4/16, written next to the committed pre-change baseline.
+bench-batch:
+	$(GO) run ./cmd/rapidbench -batchjson BENCH_PR5.json
+
+# CI gate: runs only the single-request and batch-16 benchmarks and fails
+# on a >10% single-request latency regression or <2x batch-16 throughput
+# against the committed baseline.
+bench-batch-smoke:
+	$(GO) run ./cmd/rapidbench -batchjson BENCH_PR5.json -smoke -check

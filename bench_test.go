@@ -155,6 +155,15 @@ func BenchmarkBiLSTMList20(b *testing.B) { benchsuite.BiLSTMList20(b) }
 
 func BenchmarkRAPIDInference(b *testing.B) { benchsuite.RAPIDInference(b) }
 
+// Batched inference: the same 20-item geometry scored through ScoreBatch at
+// batch sizes 1, 4 and 16. Compare by the reported instances/s; rapidbench
+// -batchjson writes the same numbers to BENCH_PR5.json.
+func BenchmarkRAPIDInferenceBatch1(b *testing.B) { benchsuite.RAPIDInferenceBatch1(b) }
+
+func BenchmarkRAPIDInferenceBatch4(b *testing.B) { benchsuite.RAPIDInferenceBatch4(b) }
+
+func BenchmarkRAPIDInferenceBatch16(b *testing.B) { benchsuite.RAPIDInferenceBatch16(b) }
+
 func BenchmarkDPPGreedyMAP(b *testing.B) { benchsuite.DPPGreedyMAP(b) }
 
 func BenchmarkMarginalDiversity(b *testing.B) { benchsuite.MarginalDiversity(b) }

@@ -26,11 +26,21 @@ func main() {
 		asJSON = flag.Bool("json", false, "emit tables as JSON instead of aligned text")
 		svg    = flag.String("svg", "", "write the regret figure to this SVG path (regret experiment only)")
 		benchJ = flag.String("benchjson", "", "run the shared benchmark suite and write machine-readable results (BENCH_PR2.json) to this path, then exit")
+		batchJ = flag.String("batchjson", "", "run the batched-inference comparison and write machine-readable results (BENCH_PR5.json) to this path, then exit")
+		smoke  = flag.Bool("smoke", false, "with -batchjson: run only the single-request and batch-16 benchmarks the CI gates read")
+		check  = flag.Bool("check", false, "with -batchjson: exit non-zero on >10%% single-request regression or <2x batch-16 throughput")
 	)
 	flag.Parse()
 
 	if *benchJ != "" {
 		if err := runBenchJSON(*benchJ); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *batchJ != "" {
+		if err := runBatchJSON(*batchJ, *smoke, *check); err != nil {
 			fmt.Fprintf(os.Stderr, "rapidbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,7 +18,9 @@
 //
 // Endpoints:
 //
-//	POST /rerank   — JSON request → re-ranked item IDs and scores
+//	POST /v1/rerank       — JSON request → re-ranked item IDs and scores
+//	POST /v1/rerank:batch — multi-request envelope, scored as one batch
+//	POST /rerank          — alias for /v1/rerank (pre-v1 clients)
 //	GET  /healthz  — liveness, model metadata and operational counters
 //	GET  /readyz   — readiness; 503 while draining
 //	GET  /metrics  — Prometheus text exposition (internal/obs)
@@ -34,7 +36,10 @@
 // Robustness envelope (see internal/serve): per-request scoring deadline
 // with graceful degradation to the initial-ranker order, bounded
 // concurrency with 429 load shedding, panic recovery, request-size caps,
-// and SIGINT/SIGTERM graceful drain.
+// and SIGINT/SIGTERM graceful drain. Concurrent requests pinned to the same
+// model version coalesce into batched forward passes (-max-batch instances,
+// -batch-wait gathering window); the batch split always follows the
+// registry pin, so a canary never shares a batch with the active version.
 //
 // The request must carry everything the model consumes (features, topic
 // coverage, per-topic behavior sequences), mirroring rerank.Instance:
@@ -62,18 +67,21 @@ import (
 
 func main() {
 	var (
-		modelPath  = flag.String("model", "rapid-model.gob", "model weights from rapidtrain (single-model mode; ignored with -model-root)")
-		modelRoot  = flag.String("model-root", "", "versioned model registry root (from rapidtrain -publish); enables the lifecycle admin API")
-		canaryPct  = flag.Float64("canary-pct", 5, "percent of traffic routed to a loaded candidate version (registry mode)")
-		shadowOn   = flag.Bool("shadow", false, "shadow-score loaded candidates off the request path and export divergence histograms (registry mode)")
-		adminToken = flag.String("admin-token", "", "bearer token for the admin endpoints; empty restricts them to loopback peers")
-		addr       = flag.String("addr", ":8080", "listen address")
-		budget     = flag.Duration("budget", 50*time.Millisecond, "per-request scoring deadline before degrading to the initial order")
-		inflight   = flag.Int("max-inflight", 0, "max concurrent scoring passes (0 = 4×GOMAXPROCS)")
-		queueWait  = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
-		maxBody    = flag.Int64("max-body", 8<<20, "request body cap in bytes")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are a DoS surface)")
+		modelPath    = flag.String("model", "rapid-model.gob", "model weights from rapidtrain (single-model mode; ignored with -model-root)")
+		modelRoot    = flag.String("model-root", "", "versioned model registry root (from rapidtrain -publish); enables the lifecycle admin API")
+		canaryPct    = flag.Float64("canary-pct", 5, "percent of traffic routed to a loaded candidate version (registry mode)")
+		shadowOn     = flag.Bool("shadow", false, "shadow-score loaded candidates off the request path and export divergence histograms (registry mode)")
+		adminToken   = flag.String("admin-token", "", "bearer token for the admin endpoints; empty restricts them to loopback peers")
+		addr         = flag.String("addr", ":8080", "listen address")
+		budget       = flag.Duration("budget", 50*time.Millisecond, "per-request scoring deadline before degrading to the initial order")
+		inflight     = flag.Int("max-inflight", 0, "max concurrent scoring passes (0 = 4×GOMAXPROCS)")
+		queueWait    = flag.Duration("queue-wait", 10*time.Millisecond, "max wait for a scoring slot before shedding with 429")
+		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are a DoS surface)")
+		maxBatch     = flag.Int("max-batch", 0, "max instances per coalesced scoring batch (0 = default 16; 1 disables batching)")
+		batchWait    = flag.Duration("batch-wait", 0, "how long a request gathers batch-mates before scoring (0 = default 2ms)")
+		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,6 +94,11 @@ func main() {
 		DrainTimeout: *drain,
 		Pprof:        *pprofOn,
 		AdminToken:   *adminToken,
+		Batch: serve.BatchConfig{
+			MaxBatch: *maxBatch,
+			MaxWait:  *batchWait,
+			Workers:  *batchWorkers,
+		},
 	}
 	var err error
 	if *modelRoot != "" {

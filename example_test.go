@@ -1,7 +1,12 @@
 package rapid_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	rapid "repro"
 )
@@ -54,6 +59,46 @@ func ExampleNewDPP() {
 	fmt.Println(order[3])
 	// Output:
 	// 2
+}
+
+// ExampleNewServer serves an untrained model over the v1 HTTP API. The
+// functional options set the scoring deadline and the micro-batching
+// window; concurrent requests would coalesce into one batched forward
+// pass, while this lone request rides the idle fast path.
+func ExampleNewServer() {
+	model := rapid.NewModel(rapid.DefaultModelConfig(2, 2, 3, 7))
+	srv := rapid.NewServer(model,
+		rapid.WithDeadline(50*time.Millisecond),
+		rapid.WithBatching(16, 2*time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := rapid.RerankRequest{
+		UserFeatures: []float64{0.3, 0.7},
+		Items: []rapid.RerankItem{
+			{ID: 1, Features: []float64{0.9, 0.1}, Cover: []float64{1, 0, 0}, InitScore: 0.9},
+			{ID: 2, Features: []float64{0.8, 0.2}, Cover: []float64{1, 0, 0}, InitScore: 0.8},
+			{ID: 3, Features: []float64{0.1, 0.9}, Cover: []float64{0, 1, 0}, InitScore: 0.5},
+			{ID: 4, Features: []float64{0.5, 0.5}, Cover: []float64{0, 0, 1}, InitScore: 0.4},
+		},
+		TopicSequences: [][]rapid.SeqItemWire{
+			{{Features: []float64{0.9, 0.1}}},
+			{{Features: []float64{0.1, 0.9}}},
+			{{Features: []float64{0.5, 0.5}}},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/rerank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	var out rapid.RerankResponse
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	fmt.Println("ranked:", out.Ranked)
+	// Output:
+	// ranked: [3 2 4 1]
 }
 
 // ExampleClickAtK computes the utility metric from expected clicks.

@@ -6,11 +6,14 @@
 package benchsuite
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/mat"
@@ -59,6 +62,18 @@ func Entries() []Entry {
 		{Name: "MarginalDiversity", F: MarginalDiversity},
 		{Name: "TrainListwise", F: TrainListwise, InstancesPerOp: trainBenchInstances * trainBenchEpochs},
 		{Name: "Table2a", F: Table2a},
+	}
+}
+
+// BatchEntries returns the batched-inference comparison emitted into
+// BENCH_PR5.json: the legacy single-request path next to ScoreBatch at
+// batch sizes 1, 4 and 16 over the same model and instance geometry.
+func BatchEntries() []Entry {
+	return []Entry{
+		{Name: "RAPIDInference", F: RAPIDInference, InstancesPerOp: 1},
+		{Name: "RAPIDInferenceBatch1", F: RAPIDInferenceBatch1, InstancesPerOp: 1},
+		{Name: "RAPIDInferenceBatch4", F: RAPIDInferenceBatch4, InstancesPerOp: 4},
+		{Name: "RAPIDInferenceBatch16", F: RAPIDInferenceBatch16, InstancesPerOp: 16},
 	}
 }
 
@@ -134,6 +149,53 @@ func RAPIDInference(b *testing.B) {
 			m.Scores(inst)
 		}
 	}
+}
+
+// RAPIDInferenceBatch1 measures ScoreBatch with a single instance — the
+// batched engine's fixed overhead relative to the legacy Scores path.
+func RAPIDInferenceBatch1(b *testing.B) { rapidInferenceBatch(b, 1) }
+
+// RAPIDInferenceBatch4 measures ScoreBatch over 4 coalesced instances.
+func RAPIDInferenceBatch4(b *testing.B) { rapidInferenceBatch(b, 4) }
+
+// RAPIDInferenceBatch16 measures ScoreBatch over 16 coalesced instances —
+// the serving layer's default MaxBatch.
+func RAPIDInferenceBatch16(b *testing.B) { rapidInferenceBatch(b, 16) }
+
+// rapidInferenceBatch scores k distinct 20-item instances in one batched
+// forward pass per op and reports instances/s, so batch sizes compare by
+// throughput rather than per-op latency.
+func rapidInferenceBatch(b *testing.B, k int) {
+	cfg := dataset.TaobaoLike(1).Scaled(0.05)
+	d := dataset.MustGenerate(cfg)
+	opt := tableOptions(1)
+	rng := rand.New(rand.NewSource(4))
+	insts := make([]*rerank.Instance, k)
+	for i := range insts {
+		pool := d.RerankPools[i%len(d.RerankPools)]
+		items := pool.Candidates[:cfg.ListLen]
+		req := dataset.Request{User: pool.User, Items: items, InitScores: make([]float64, len(items))}
+		insts[i] = rerank.NewInstance(d, req, rng)
+	}
+	env := &experiments.Env{Data: d}
+	var m *core.Model = experiments.NewRAPID(env, opt, 1, nil)
+	var h *obs.Histogram
+	if reg != nil {
+		h = reg.Histogram(fmt.Sprintf("rapid_bench_inference_batch%d_seconds", k),
+			fmt.Sprintf("Latency of one batched RAPID forward pass over %d 20-item lists.", k), nil)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := m.ScoreBatch(ctx, insts); err != nil {
+			b.Fatal(err)
+		}
+		if h != nil {
+			h.ObserveDuration(time.Since(start))
+		}
+	}
+	b.ReportMetric(float64(b.N*k)/b.Elapsed().Seconds(), "instances/s")
 }
 
 // DPPGreedyMAP measures the DPP baseline's greedy MAP selection.

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/nn"
@@ -128,6 +129,9 @@ type Model struct {
 
 	divFn topics.DiversityFunction
 	noise *rand.Rand
+	// tapes recycles inference tapes across Score/ScoreBatch calls; each
+	// call borrows one for the duration of its forward pass.
+	tapes sync.Pool
 	// preNoise holds the ξ vectors pre-drawn by PrepareInstance for the
 	// parallel trainer. It is written only between batches (on the trainer
 	// goroutine) and read by Logits inside the batch, so no lock is needed.

@@ -47,7 +47,14 @@ func (l *LSTMCell) Step(t *Tape, x, h, c *Node) (hNew, cNew *Node) {
 
 // InitState returns zeroed hidden and cell state nodes.
 func (l *LSTMCell) InitState(t *Tape) (h, c *Node) {
-	return t.Constant(mat.New(1, l.Hidden)), t.Constant(mat.New(1, l.Hidden))
+	return l.InitStateRows(t, 1)
+}
+
+// InitStateRows returns zeroed hidden and cell states for g sequences
+// advanced in lockstep (g×hidden each). Step is shape-agnostic in the row
+// dimension, so a g-row state batches g independent recurrences.
+func (l *LSTMCell) InitStateRows(t *Tape, g int) (h, c *Node) {
+	return t.Constant(mat.New(g, l.Hidden)), t.Constant(mat.New(g, l.Hidden))
 }
 
 // LSTM runs an LSTMCell over a sequence given as an L×in node (one row per

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,7 +28,21 @@ type offsetScorer struct {
 }
 
 func (s offsetScorer) Name() string { return s.name }
-func (s offsetScorer) Scores(inst *rerank.Instance) []float64 {
+func (s offsetScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	return s.scores(inst), nil
+}
+
+// ScoreBatch makes offsetScorer a serve.BatchScorer, so the live-traffic
+// churn test exercises the coalesced multi-request scoring path too.
+func (s offsetScorer) ScoreBatch(_ context.Context, insts []*rerank.Instance) ([][]float64, error) {
+	out := make([][]float64, len(insts))
+	for i, inst := range insts {
+		out[i] = s.scores(inst)
+	}
+	return out, nil
+}
+
+func (s offsetScorer) scores(inst *rerank.Instance) []float64 {
 	out := make([]float64, len(inst.Items))
 	for i := range out {
 		out[i] = s.offset + inst.InitScores[i]
@@ -150,6 +165,9 @@ func TestLifecycleUnderLiveHTTPTraffic(t *testing.T) {
 		Budget:      2 * time.Second, // stub scoring is instant; no degrades
 		MaxInFlight: 64,
 		QueueWait:   2 * time.Second, // nothing may shed in this test
+		// Explicit coalescing: concurrent clients must batch (and split per
+		// pinned version) without dropping or tearing a single request.
+		Batch: serve.BatchConfig{MaxBatch: 8, MaxWait: time.Millisecond},
 	})
 	srv.Log = t.Logf
 	ts := httptest.NewServer(srv.Handler())

@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -195,8 +197,9 @@ func (r *Registry) Pick(key uint64) serve.Pinned {
 	pin := r.pinOf(v, canary)
 	if !canary && st.candidate != nil && r.shadow != nil {
 		cand := st.candidate
-		pin.Shadow = func(inst *rerank.Instance, scores []float64) {
-			r.shadow.submit(cand, inst, scores)
+		pin.ShadowVersion = cand.label
+		pin.ShadowBatch = func(insts []*rerank.Instance, scores [][]float64) {
+			r.shadow.submitBatch(cand, insts, scores)
 		}
 	}
 	return pin
@@ -224,8 +227,10 @@ func (r *Registry) pinOf(v *version, canary bool) serve.Pinned {
 // reach it because the zero manifest geometry rejects them at validation.
 type noModel struct{}
 
-func (noModel) Scores(*rerank.Instance) []float64 { return nil }
-func (noModel) Name() string                      { return "none" }
+func (noModel) Score(context.Context, *rerank.Instance) ([]float64, error) {
+	return nil, errors.New("no model version loaded")
+}
+func (noModel) Name() string { return "none" }
 
 // observe lands one request outcome in the per-version metrics and, for
 // canary traffic, evaluates the auto-rollback condition. It runs on the

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,6 +35,9 @@ type stubScorer struct {
 }
 
 func (s stubScorer) Name() string { return s.name }
+func (s stubScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	return s.Scores(inst), nil
+}
 func (s stubScorer) Scores(inst *rerank.Instance) []float64 {
 	if s.sleep > 0 {
 		time.Sleep(s.sleep)

@@ -1,28 +1,33 @@
 package registry
 
 import (
+	"context"
 	"math"
 	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/rerank"
+	"repro/internal/serve"
 )
 
-// shadowJob is one request to score against the candidate off the request
-// path: the instance the active model just served and its primary scores
-// (aligned with inst.Items).
+// shadowJob is one batch of requests to score against the candidate off the
+// request path: the instances the active model just served and the primary
+// scores (each aligned with its instance's Items). The serving layer
+// forwards whole scored batches, so shadow scoring reuses the batch shape —
+// one queue slot and, when the candidate batches, one ScoreBatch call.
 type shadowJob struct {
 	cand    *version
-	inst    *rerank.Instance
-	primary []float64
+	insts   []*rerank.Instance
+	primary [][]float64
 }
 
 // shadowPool scores shadow jobs on a fixed set of workers behind a bounded
-// queue. Submission never blocks: when the queue is full the job is shed and
-// counted. The choice to shed rather than queue is deliberate — shadow
-// scoring is an observability signal, and an unbounded queue would convert a
-// slow candidate into unbounded memory growth and stale divergence numbers.
-// A shed sample only widens the confidence interval.
+// queue. Submission never blocks: when the queue is full the batch is shed
+// and every instance it carried is counted. The choice to shed rather than
+// queue is deliberate — shadow scoring is an observability signal, and an
+// unbounded queue would convert a slow candidate into unbounded memory
+// growth and stale divergence numbers. A shed sample only widens the
+// confidence interval.
 type shadowPool struct {
 	jobs chan shadowJob
 	wg   sync.WaitGroup
@@ -45,13 +50,13 @@ func newShadowPool(workers, queue, k int, met *lifecycleMetrics, log func(string
 	return p
 }
 
-// submit enqueues a shadow job or sheds it; it never blocks the caller (the
-// request handler).
-func (p *shadowPool) submit(cand *version, inst *rerank.Instance, primary []float64) {
+// submitBatch enqueues one shadow batch or sheds it; it never blocks the
+// caller (a serving-layer scoring worker).
+func (p *shadowPool) submitBatch(cand *version, insts []*rerank.Instance, primary [][]float64) {
 	select {
-	case p.jobs <- shadowJob{cand: cand, inst: inst, primary: primary}:
+	case p.jobs <- shadowJob{cand: cand, insts: insts, primary: primary}:
 	default:
-		p.met.shadowShed.Inc()
+		p.met.shadowShed.Add(int64(len(insts)))
 	}
 }
 
@@ -61,10 +66,11 @@ func (p *shadowPool) close() {
 	p.wg.Wait()
 }
 
-// score runs one shadow comparison: candidate scores on the same instance,
-// then score divergence, top-k rank overlap and the candidate's ILD@k land
-// in the divergence histograms. A panicking candidate is counted, never
-// propagated — shadow mode must be unable to hurt the serving process.
+// score runs one shadow batch: incompatible instances are filtered, the
+// rest score through the candidate (batched when it supports ScoreBatch),
+// and each instance's divergence metrics land individually. A panicking
+// candidate is counted, never propagated — shadow mode must be unable to
+// hurt the serving process.
 func (p *shadowPool) score(job shadowJob) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -72,23 +78,59 @@ func (p *shadowPool) score(job shadowJob) {
 			p.log("registry: recovered shadow scoring panic on %s: %v", job.cand.label, r)
 		}
 	}()
-	inst := job.inst
 	cfg := job.cand.man.Config
-	if cfg.UserDim != len(inst.UserFeat) || cfg.Topics != inst.M ||
-		(len(inst.Items) > 0 && cfg.ItemDim != len(inst.ItemFeat(inst.Items[0]))) {
-		// The instance was validated against the active model's geometry; a
-		// candidate with a different one cannot score it. Canary traffic
-		// still evaluates such a candidate (its requests validate against
-		// its own manifest).
-		p.met.shadowIncompatible.Inc()
+	insts := make([]*rerank.Instance, 0, len(job.insts))
+	primary := make([][]float64, 0, len(job.insts))
+	for i, inst := range job.insts {
+		if cfg.UserDim != len(inst.UserFeat) || cfg.Topics != inst.M ||
+			(len(inst.Items) > 0 && cfg.ItemDim != len(inst.ItemFeat(inst.Items[0]))) {
+			// The instance was validated against the active model's geometry;
+			// a candidate with a different one cannot score it. Canary traffic
+			// still evaluates such a candidate (its requests validate against
+			// its own manifest).
+			p.met.shadowIncompatible.Inc()
+			continue
+		}
+		insts = append(insts, inst)
+		primary = append(primary, job.primary[i])
+	}
+	if len(insts) == 0 {
 		return
 	}
-	scores := job.cand.scorer.Scores(inst)
+	var scores [][]float64
+	if bs, ok := job.cand.scorer.(serve.BatchScorer); ok && len(insts) > 1 {
+		res, err := bs.ScoreBatch(context.Background(), insts)
+		if err != nil || len(res) != len(insts) {
+			p.met.shadowErrors.Inc()
+			return
+		}
+		scores = res
+	} else {
+		scores = make([][]float64, len(insts))
+		for i, inst := range insts {
+			s, err := job.cand.scorer.Score(context.Background(), inst)
+			if err != nil {
+				p.met.shadowErrors.Inc()
+				continue // s stays nil; compare skips it
+			}
+			scores[i] = s
+		}
+	}
+	for i, inst := range insts {
+		if scores[i] == nil {
+			continue
+		}
+		p.compare(inst, primary[i], scores[i])
+	}
+}
+
+// compare lands one instance's shadow comparison: candidate-vs-primary score
+// divergence, top-k rank overlap and the candidate's ILD@k.
+func (p *shadowPool) compare(inst *rerank.Instance, primary, scores []float64) {
 	if len(scores) != len(inst.Items) {
 		p.met.shadowErrors.Inc()
 		return
 	}
-
 	var div float64
 	finite := true
 	for i := range scores {
@@ -96,7 +138,7 @@ func (p *shadowPool) score(job shadowJob) {
 			finite = false
 			break
 		}
-		div += math.Abs(scores[i] - job.primary[i])
+		div += math.Abs(scores[i] - primary[i])
 	}
 	if !finite {
 		p.met.shadowErrors.Inc()
@@ -108,7 +150,7 @@ func (p *shadowPool) score(job shadowJob) {
 	if k > len(inst.Items) {
 		k = len(inst.Items)
 	}
-	primaryOrder := rerank.OrderByScores(inst.Items, job.primary)
+	primaryOrder := rerank.OrderByScores(inst.Items, primary)
 	candOrder := rerank.OrderByScores(inst.Items, scores)
 	inPrimary := make(map[int]bool, k)
 	for _, id := range primaryOrder[:k] {

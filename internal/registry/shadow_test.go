@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -50,14 +51,17 @@ func TestShadowScoresCandidateOffPath(t *testing.T) {
 	if pin.Canary {
 		t.Fatal("unexpected canary pick")
 	}
-	if pin.Shadow == nil {
+	if pin.ShadowBatch == nil {
 		t.Fatal("non-canary pick has no shadow hook while a candidate is staged")
+	}
+	if pin.ShadowVersion != "v2" {
+		t.Fatalf("shadow version %q, want v2", pin.ShadowVersion)
 	}
 
 	inst := shadowInstance(t)
 	primary := stubScorer{name: "v1"}.Scores(inst)
 	for i := 0; i < 8; i++ {
-		pin.Shadow(inst, primary)
+		pin.ShadowBatch([]*rerank.Instance{inst}, [][]float64{primary})
 	}
 	r.Close() // drains the pool
 	scored := r.met.shadowScored.Value()
@@ -117,7 +121,7 @@ func TestShadowShedsWhenSaturated(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < 50; i++ {
-			pin.Shadow(inst, primary)
+			pin.ShadowBatch([]*rerank.Instance{inst}, [][]float64{primary})
 		}
 		close(done)
 	}()
@@ -154,6 +158,10 @@ func (b *blockingScorer) Scores(inst *rerank.Instance) []float64 {
 	return b.stubScorer.Scores(inst)
 }
 
+func (b *blockingScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	return b.Scores(inst), nil
+}
+
 func TestShadowSkipsIncompatibleGeometry(t *testing.T) {
 	other := testGeometry()
 	other.UserDim = 9
@@ -176,7 +184,7 @@ func TestShadowSkipsIncompatibleGeometry(t *testing.T) {
 	}
 	pin := r.Pick(0)
 	inst := shadowInstance(t)
-	pin.Shadow(inst, stubScorer{name: "v1"}.Scores(inst))
+	pin.ShadowBatch([]*rerank.Instance{inst}, [][]float64{stubScorer{name: "v1"}.Scores(inst)})
 	r.Close()
 	if got := r.met.shadowIncompatible.Value(); got != 1 {
 		t.Fatalf("incompatible counter %d, want 1", got)
@@ -204,7 +212,7 @@ func TestShadowRecoversPanickingCandidate(t *testing.T) {
 	pin := r.Pick(0)
 	inst := shadowInstance(t)
 	primary := stubScorer{name: "v1"}.Scores(inst)
-	pin.Shadow(inst, primary)
+	pin.ShadowBatch([]*rerank.Instance{inst}, [][]float64{primary})
 	r.Close()
 	if got := r.met.shadowErrors.Value(); got != 1 {
 		t.Fatalf("shadow errors %d, want 1 (recovered panic)", got)
@@ -219,9 +227,9 @@ type panicScorer struct {
 }
 
 func (p *panicScorer) Name() string { return "panic" }
-func (p *panicScorer) Scores(inst *rerank.Instance) []float64 {
+func (p *panicScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
 	if p.calls.Add(1) > p.free {
 		panic("candidate model bug")
 	}
-	return make([]float64, len(inst.Items))
+	return make([]float64, len(inst.Items)), nil
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,9 +33,12 @@ func (r *Registry) warmup(label string, scorer serve.Scorer, man serve.Manifest)
 			return fmt.Errorf("golden request %d does not fit %s's geometry: %w", i, label, err)
 		}
 		start := time.Now()
-		scores := scorer.Scores(inst)
+		scores, err := scorer.Score(context.Background(), inst)
 		elapsed := time.Since(start)
 		r.met.warmupLatency.ObserveDuration(elapsed)
+		if err != nil {
+			return fmt.Errorf("golden request %d: %w", i, err)
+		}
 		if len(scores) != len(inst.Items) {
 			return fmt.Errorf("golden request %d: %d scores for %d items", i, len(scores), len(inst.Items))
 		}

@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rerank"
+)
+
+// BatchConfig bounds the micro-batching coalescer that sits between the
+// request handlers and the scorers. Concurrent in-flight requests pinned to
+// the same (scorer, version) are gathered into one ScoreBatch call, which
+// amortizes the recurrence GEMMs that dominate inference cost.
+type BatchConfig struct {
+	// MaxBatch is the most instances one dispatched batch may carry
+	// (default 16). 1 disables coalescing: every request scores alone.
+	MaxBatch int
+	// MaxWait is the longest a request waits for batch-mates before its
+	// partial batch dispatches anyway (default 2ms). A request therefore
+	// never sits in the coalescer past MaxWait — its worst case is
+	// MaxWait + its own scoring time, still bounded by the Budget deadline.
+	MaxWait time.Duration
+	// Workers is the number of scoring worker goroutines draining dispatched
+	// batches (default max(2, GOMAXPROCS)).
+	Workers int
+}
+
+// scoreJob is one instance waiting to be scored. done is buffered so the
+// worker's delivery never blocks on a departed waiter; ownsSlot marks jobs
+// whose MaxInFlight slot must be released when scoring truly ends (single
+// requests own one slot each; batch-envelope items share the envelope's
+// slot, which the envelope handler releases itself).
+type scoreJob struct {
+	ctx      context.Context
+	inst     *rerank.Instance
+	pin      Pinned
+	done     chan scoreOutcome
+	ownsSlot bool
+}
+
+// batchKey groups coalesced jobs: only requests pinned to the same scorer
+// instance and version label may share a batch, so a canary/candidate split
+// or a mid-flight promote can never mix models inside one ScoreBatch call.
+type batchKey struct {
+	scorer  Scorer
+	version string
+}
+
+type pendingBatch struct {
+	jobs  []*scoreJob
+	timer *time.Timer
+}
+
+// coalescer gathers in-flight scoring jobs into batches and hands them to a
+// worker pool. The Server owns exactly one coalescer for its whole life;
+// workers start lazily on first submission and stop when Serve's drain
+// calls close. Handlers used without Serve (httptest) leave the bounded
+// worker pool parked, which is harmless.
+type coalescer struct {
+	s        *Server
+	dispatch chan []*scoreJob // nil element = worker stop sentinel
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+	closed  bool
+
+	started sync.Once
+	wg      sync.WaitGroup
+}
+
+func newCoalescer(s *Server) *coalescer {
+	buf := s.cfg.MaxInFlight + 4*s.cfg.Batch.Workers + 16
+	return &coalescer{
+		s:        s,
+		pending:  make(map[batchKey]*pendingBatch),
+		dispatch: make(chan []*scoreJob, buf),
+	}
+}
+
+func (c *coalescer) start() {
+	c.started.Do(func() {
+		for i := 0; i < c.s.cfg.Batch.Workers; i++ {
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				for jobs := range c.dispatch {
+					if jobs == nil {
+						return
+					}
+					c.s.runBatch(jobs)
+				}
+			}()
+		}
+	})
+}
+
+// submit enqueues one single-request job (which owns its MaxInFlight slot)
+// and returns its result channel. When the server is effectively idle — at
+// most this request holds a scoring slot — there are no batch-mates worth
+// waiting for, so the job dispatches immediately; the idle fast path keeps
+// single-request latency at the pre-batching baseline.
+func (c *coalescer) submit(ctx context.Context, pin Pinned, inst *rerank.Instance) <-chan scoreOutcome {
+	c.start()
+	j := &scoreJob{ctx: ctx, inst: inst, pin: pin, done: make(chan scoreOutcome, 1), ownsSlot: true}
+	if c.s.cfg.Batch.MaxBatch <= 1 || len(c.s.sem) <= 1 {
+		c.dispatch <- []*scoreJob{j}
+		return j.done
+	}
+	key := batchKey{scorer: pin.Scorer, version: pin.Version}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.dispatch <- []*scoreJob{j}
+		return j.done
+	}
+	pb := c.pending[key]
+	if pb == nil {
+		pb = &pendingBatch{}
+		c.pending[key] = pb
+		pb.timer = time.AfterFunc(c.s.cfg.Batch.MaxWait, func() { c.flush(key, pb) })
+	}
+	pb.jobs = append(pb.jobs, j)
+	var ready []*scoreJob
+	if len(pb.jobs) >= c.s.cfg.Batch.MaxBatch {
+		delete(c.pending, key)
+		pb.timer.Stop()
+		ready = pb.jobs
+	}
+	c.mu.Unlock()
+	if ready != nil {
+		c.dispatch <- ready
+	}
+	return j.done
+}
+
+// flush dispatches a partial batch when its MaxWait timer fires. The
+// pointer-identity check drops stale timers whose batch already dispatched
+// full (a new pending batch may live under the same key by then).
+func (c *coalescer) flush(key batchKey, pb *pendingBatch) {
+	c.mu.Lock()
+	if c.pending[key] != pb {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, key)
+	jobs := pb.jobs
+	c.mu.Unlock()
+	c.dispatch <- jobs
+}
+
+// enqueue hands a pre-grouped batch straight to the worker pool — the
+// batch endpoint already holds a whole envelope, so coalescing would only
+// add wait.
+func (c *coalescer) enqueue(jobs []*scoreJob) {
+	c.start()
+	c.dispatch <- jobs
+}
+
+// close flushes every pending batch and stops the workers after the queue
+// drains. Called by Serve once Shutdown has returned, i.e. after all
+// request handlers have finished submitting.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var stale [][]*scoreJob
+	for key, pb := range c.pending {
+		pb.timer.Stop()
+		stale = append(stale, pb.jobs)
+		delete(c.pending, key)
+	}
+	c.mu.Unlock()
+	for _, jobs := range stale {
+		c.dispatch <- jobs
+	}
+	c.started.Do(func() {}) // a never-started pool has nothing to stop
+	for i := 0; i < c.s.cfg.Batch.Workers; i++ {
+		c.dispatch <- nil
+	}
+	c.wg.Wait()
+}
+
+// runBatch scores one dispatched batch on a worker goroutine: jobs whose
+// context already ended finish early without scoring, fault injection runs
+// per job, live jobs score in one pass, and results (or the batch-wide
+// error) fan back to each job's waiter.
+func (s *Server) runBatch(jobs []*scoreJob) {
+	live := jobs[:0]
+	for _, j := range jobs {
+		if err := j.ctx.Err(); err != nil {
+			s.finish(j, scoreOutcome{err: err})
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	n := len(live)
+	s.met.batchSize.Observe(float64(n))
+	s.met.inflight.Add(float64(n))
+	sstart := time.Now()
+	// Fault injection counts as part of scoring: a request degraded by
+	// BeforeScore still lands in the scoring histogram and the in-flight
+	// gauge, exactly as it did when each request scored on its own goroutine.
+	var faulted []*scoreJob
+	var fouts []scoreOutcome
+	pass := live[:0]
+	for _, j := range live {
+		if out := s.beforeScore(j); out.err != nil {
+			faulted = append(faulted, j)
+			fouts = append(fouts, out)
+			continue
+		}
+		pass = append(pass, j)
+	}
+	var outs []scoreOutcome
+	if len(pass) > 0 {
+		outs = s.scoreJobs(pass)
+	}
+	elapsed := time.Since(sstart)
+	for i := 0; i < n; i++ {
+		// Observed to true completion: a deadline-abandoned pass still lands
+		// its real latency here, which is what the tail of this histogram is
+		// for. Every batched job shares the batch's wall-clock cost.
+		s.met.scoring.ObserveDuration(elapsed)
+	}
+	s.met.inflight.Add(float64(-n))
+	for i, j := range faulted {
+		s.finish(j, fouts[i])
+	}
+	for i, j := range pass {
+		s.finish(j, outs[i])
+	}
+	s.shadowFanout(pass, outs)
+}
+
+// beforeScore runs the fault-injection seam for one job, recovering
+// injected panics so they degrade only that job's response.
+func (s *Server) beforeScore(j *scoreJob) (out scoreOutcome) {
+	f := s.Faults
+	if f == nil {
+		return scoreOutcome{}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.panics.Inc()
+			s.Log("serve: recovered scoring panic: %v", p)
+			out = scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
+		}
+	}()
+	if err := f.BeforeScore(j.ctx, j.inst); err != nil {
+		return scoreOutcome{err: err}
+	}
+	return scoreOutcome{}
+}
+
+// scoreJobs produces one outcome per job. A single job scores under its own
+// request context (full per-request cancellation); a multi-job batch scores
+// through BatchScorer when available, under a context detached from the
+// individual requests (one client disconnecting must not cancel its
+// batch-mates) but bounded by the latest member deadline. Scorers without
+// ScoreBatch fall back to a per-job loop.
+func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
+	outs = make([]scoreOutcome, len(jobs))
+	landed := 0
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.panics.Inc()
+			s.Log("serve: recovered scoring panic: %v", p)
+			out := scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
+			for i := landed; i < len(outs); i++ {
+				outs[i] = out
+			}
+		}
+	}()
+	scorer := jobs[0].pin.Scorer
+	if bs, ok := scorer.(BatchScorer); ok && len(jobs) > 1 {
+		insts := make([]*rerank.Instance, len(jobs))
+		for i, j := range jobs {
+			insts[i] = j.inst
+		}
+		bctx, cancel := batchContext(jobs)
+		res, err := bs.ScoreBatch(bctx, insts)
+		cancel()
+		if err == nil && len(res) != len(jobs) {
+			err = fmt.Errorf("scorer %s returned %d score sets for %d instances", scorer.Name(), len(res), len(jobs))
+		}
+		if err != nil {
+			for i := range outs {
+				outs[i] = scoreOutcome{err: err}
+			}
+		} else {
+			for i := range outs {
+				outs[i] = scoreOutcome{scores: res[i]}
+			}
+		}
+		landed = len(outs)
+		return outs
+	}
+	for i, j := range jobs {
+		scores, err := scorer.Score(j.ctx, j.inst)
+		outs[i] = scoreOutcome{scores: scores, err: err}
+		landed = i + 1
+	}
+	return outs
+}
+
+// batchContext derives the shared scoring context for a multi-request
+// batch: the latest member deadline, or no deadline if any member has none.
+func batchContext(jobs []*scoreJob) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, j := range jobs {
+		d, ok := j.ctx.Deadline()
+		if !ok {
+			return context.WithCancel(context.Background())
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// finish delivers a job's outcome and releases its scoring slot if it owns
+// one. Exactly one finish per job: the buffered done channel makes delivery
+// non-blocking even when the waiter already gave up on its deadline.
+func (s *Server) finish(j *scoreJob, out scoreOutcome) {
+	j.done <- out
+	if j.ownsSlot {
+		<-s.sem
+	}
+}
+
+// shadowFanout forwards successfully scored jobs to their pins' shadow
+// hooks, grouping contiguous runs that shadow the same candidate version so
+// shadow scoring reuses the batch shape instead of re-splitting per item.
+func (s *Server) shadowFanout(jobs []*scoreJob, outs []scoreOutcome) {
+	for i := 0; i < len(jobs); {
+		j := jobs[i]
+		if j.pin.ShadowBatch == nil || outs[i].err != nil {
+			i++
+			continue
+		}
+		insts := []*rerank.Instance{j.inst}
+		scores := [][]float64{outs[i].scores}
+		k := i + 1
+		for k < len(jobs) && jobs[k].pin.ShadowBatch != nil && outs[k].err == nil &&
+			jobs[k].pin.ShadowVersion == j.pin.ShadowVersion {
+			insts = append(insts, jobs[k].inst)
+			scores = append(scores, outs[k].scores)
+			k++
+		}
+		// Off-path shadow scoring: submit and move on; the shadow pool sheds
+		// under pressure rather than delaying responses.
+		j.pin.ShadowBatch(insts, scores)
+		i = k
+	}
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/rerank"
+)
+
+// offsetStub is a comparable Scorer+BatchScorer whose output encodes which
+// scorer produced it, so a batch that mixed pins would be visible in the
+// scores themselves.
+type offsetStub struct{ offset float64 }
+
+func (o offsetStub) Name() string { return fmt.Sprintf("offset-%v", o.offset) }
+func (o offsetStub) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	out := make([]float64, len(inst.Items))
+	for i := range out {
+		out[i] = o.offset + inst.InitScores[i]
+	}
+	return out, nil
+}
+func (o offsetStub) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error) {
+	out := make([][]float64, len(insts))
+	for i, inst := range insts {
+		s, err := o.Score(ctx, inst)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// TestV1RerankAliasIdenticalBodies: POST /rerank and POST /v1/rerank are the
+// same endpoint — identical request, identical response body (modulo the
+// measured latency_ms field).
+func TestV1RerankAliasIdenticalBodies(t *testing.T) {
+	s := stubServer(t, Config{})
+	h := s.Handler()
+	body, _ := json.Marshal(validRequest())
+
+	decode := func(path string) map[string]any {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s status %d: %s", path, w.Code, w.Body.String())
+		}
+		var m map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		delete(m, "latency_ms")
+		return m
+	}
+	legacy := decode("/rerank")
+	v1 := decode("/v1/rerank")
+	if !reflect.DeepEqual(legacy, v1) {
+		t.Fatalf("alias bodies diverge:\n/rerank:    %v\n/v1/rerank: %v", legacy, v1)
+	}
+}
+
+// TestHandleRerankBatchEnvelope: a mixed envelope answers every item — valid
+// items score exactly like the single endpoint, malformed items carry a
+// per-item error without rejecting the envelope.
+func TestHandleRerankBatchEnvelope(t *testing.T) {
+	s := stubServer(t, Config{})
+	h := s.Handler()
+
+	single := postRerank(t, h, mustJSON(t, validRequest()))
+	var want RerankResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := validRequest()
+	bad.UserFeatures = []float64{0.1} // wrong geometry
+	env := RerankBatchRequest{Requests: []RerankRequest{*validRequest(), *bad, *validRequest()}}
+
+	w := postBatch(t, h, mustJSON(t, env))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Responses) != 3 {
+		t.Fatalf("got %d responses for 3 requests", len(resp.Responses))
+	}
+	for _, i := range []int{0, 2} {
+		got := resp.Responses[i]
+		if got.Error != "" || got.Degraded {
+			t.Fatalf("valid item %d: %+v", i, got)
+		}
+		if !reflect.DeepEqual(got.Ranked, want.Ranked) || !reflect.DeepEqual(got.Scores, want.Scores) {
+			t.Fatalf("item %d diverges from single endpoint:\nbatch:  %v %v\nsingle: %v %v",
+				i, got.Ranked, got.Scores, want.Ranked, want.Scores)
+		}
+		if got.ModelVersion != want.ModelVersion {
+			t.Fatalf("item %d version %q, single %q", i, got.ModelVersion, want.ModelVersion)
+		}
+	}
+	if resp.Responses[1].Error == "" {
+		t.Fatal("malformed item did not carry a per-item error")
+	}
+	if len(resp.Responses[1].Ranked) != 0 {
+		t.Fatalf("malformed item still ranked: %+v", resp.Responses[1])
+	}
+}
+
+// TestHandleRerankBatchLimits: an empty envelope and one over
+// MaxBatchRequests are both rejected whole with 400.
+func TestHandleRerankBatchLimits(t *testing.T) {
+	s := stubServer(t, Config{})
+	h := s.Handler()
+
+	if w := postBatch(t, h, []byte(`{"requests":[]}`)); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty envelope status %d", w.Code)
+	}
+	big := RerankBatchRequest{Requests: make([]RerankRequest, MaxBatchRequests+1)}
+	for i := range big.Requests {
+		big.Requests[i] = *validRequest()
+	}
+	if w := postBatch(t, h, mustJSON(t, big)); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized envelope status %d", w.Code)
+	}
+}
+
+// TestHandleRerankBatchPerItemDegraded: a fault that hits one item degrades
+// only that item — its batch-mates still get real scores.
+func TestHandleRerankBatchPerItemDegraded(t *testing.T) {
+	s := stubServer(t, Config{})
+	s.Faults = FaultFunc(func(_ context.Context, inst *rerank.Instance) error {
+		if inst.Items[0] == 17 {
+			return fmt.Errorf("injected: item 17 feature store down")
+		}
+		return nil
+	})
+	h := s.Handler()
+
+	marked := validRequest()
+	marked.Items[0].ID = 17
+	env := RerankBatchRequest{Requests: []RerankRequest{*validRequest(), *marked}}
+
+	w := postBatch(t, h, mustJSON(t, env))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Responses[0].Degraded {
+		t.Fatalf("healthy batch-mate degraded: %+v", resp.Responses[0])
+	}
+	got := resp.Responses[1]
+	if !got.Degraded || got.DegradedReason != "error" {
+		t.Fatalf("faulted item not degraded-by-error: %+v", got)
+	}
+	// Degradation contract per item: initial order, init scores.
+	if got.Ranked[0] != 17 || got.Scores[0] != 0.9 {
+		t.Fatalf("degraded item did not fall back to initial order: %+v", got)
+	}
+}
+
+// TestCoalescerMaxWaitBound: with the server busy (idle fast path defeated),
+// a lone request dispatches when its MaxWait window closes — never sooner
+// than the window, never later than window + slack.
+func TestCoalescerMaxWaitBound(t *testing.T) {
+	const maxWait = 20 * time.Millisecond
+	s := stubServer(t, Config{
+		MaxInFlight: 16,
+		Batch:       BatchConfig{MaxBatch: 16, MaxWait: maxWait},
+	})
+	// Two occupied slots defeat the idle fast path (len(sem) > 1).
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := Pinned{Scorer: offsetStub{offset: 1}, Version: "v1"}
+
+	s.sem <- struct{}{} // the job's own slot, released by the worker
+	start := time.Now()
+	done := s.batch.submit(context.Background(), pin, inst)
+	select {
+	case out := <-done:
+		elapsed := time.Since(start)
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		if elapsed < maxWait/2 {
+			t.Fatalf("partial batch dispatched after %v, before the %v wait window", elapsed, maxWait)
+		}
+		if elapsed > maxWait+time.Second {
+			t.Fatalf("request waited %v, far past MaxWait %v", elapsed, maxWait)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never completed")
+	}
+}
+
+// TestCoalescerFullBatchDispatchesEarly: MaxBatch jobs in hand dispatch
+// immediately — nobody waits out a long MaxWait window once the batch is
+// full.
+func TestCoalescerFullBatchDispatchesEarly(t *testing.T) {
+	const batch = 4
+	s := stubServer(t, Config{
+		MaxInFlight: 16,
+		Batch:       BatchConfig{MaxBatch: batch, MaxWait: 5 * time.Second},
+	})
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := Pinned{Scorer: offsetStub{offset: 1}, Version: "v1"}
+
+	start := time.Now()
+	dones := make([]<-chan scoreOutcome, batch)
+	for i := range dones {
+		s.sem <- struct{}{}
+		dones[i] = s.batch.submit(context.Background(), pin, inst)
+	}
+	for i, done := range dones {
+		select {
+		case out := <-done:
+			if out.err != nil {
+				t.Fatalf("job %d: %v", i, out.err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("job %d still waiting %v after the batch filled", i, time.Since(start))
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("full batch took %v; it must not wait out MaxWait", elapsed)
+	}
+}
+
+// TestCoalescerChurnExactlyOneOutcome is the coalescer's property test; run
+// with -race. Many goroutines submit against two distinct (scorer, version)
+// pins at once. Every submission must receive exactly one outcome, and the
+// scores must carry its own pin's offset — a batch that mixed pins or a
+// dropped/duplicated delivery would fail here.
+func TestCoalescerChurnExactlyOneOutcome(t *testing.T) {
+	s := stubServer(t, Config{
+		MaxInFlight: 64,
+		Batch:       BatchConfig{MaxBatch: 4, MaxWait: time.Millisecond},
+	})
+	// Keep the server permanently "busy" so submissions coalesce.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []Pinned{
+		{Scorer: offsetStub{offset: 100}, Version: "v1"},
+		{Scorer: offsetStub{offset: 200}, Version: "v2"},
+	}
+
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				pin := pins[(g+i)%len(pins)]
+				s.sem <- struct{}{}
+				done := s.batch.submit(context.Background(), pin, inst)
+				select {
+				case out := <-done:
+					if out.err != nil {
+						t.Errorf("worker %d job %d: %v", g, i, out.err)
+						return
+					}
+					wantOffset := 100.0 * float64(1+(g+i)%len(pins))
+					if out.scores[0] != wantOffset+inst.InitScores[0] {
+						t.Errorf("pin mixed into foreign batch: got %v, want offset %v",
+							out.scores[0], wantOffset)
+						return
+					}
+					delivered.Add(1)
+				case <-time.After(5 * time.Second):
+					t.Errorf("worker %d job %d: outcome never delivered", g, i)
+					return
+				}
+				// done is buffered with capacity 1; a duplicate delivery
+				// would be waiting here.
+				select {
+				case out := <-done:
+					t.Errorf("worker %d job %d: duplicate outcome %+v", g, i, out)
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := delivered.Load(); got != workers*perW {
+		t.Fatalf("%d of %d submissions answered", got, workers*perW)
+	}
+	// The two sentinel tokens are all that remain once every job released
+	// its slot: no slot was leaked or double-released.
+	if got := len(s.sem); got != 2 {
+		t.Fatalf("%d slots still held after drain, want the 2 sentinels", got)
+	}
+}
+
+// TestAdaptBaselinesBatchBitwise: for every baseline reranker, the
+// context-aware adapter's Score and ScoreBatch reproduce the legacy Scores
+// path bitwise — batch-of-1 and a mixed batch alike.
+func TestAdaptBaselinesBatchBitwise(t *testing.T) {
+	rerankers := []rerank.Reranker{
+		baselines.NewMMR(),
+		baselines.NewDPP(),
+		baselines.NewSSD(),
+		baselines.NewAdpMMR(),
+		baselines.NewDESA(8, 11),
+		baselines.NewDLCM(8, 12),
+		baselines.NewPDGAN(8, 13),
+		baselines.NewPRM(8, 14),
+		baselines.NewSeq2Slate(8, 15),
+		baselines.NewSetRank(8, 16),
+		baselines.NewSRGA(8, 17),
+	}
+	short := validRequest()
+	short.Items = short.Items[:2]
+	var insts []*rerank.Instance
+	for _, req := range []*RerankRequest{validRequest(), short, validRequest()} {
+		inst, err := ToInstance(testConfig(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+
+	for _, r := range rerankers {
+		t.Run(r.Name(), func(t *testing.T) {
+			want := make([][]float64, len(insts))
+			for i, inst := range insts {
+				want[i] = r.Scores(inst)
+			}
+			sc := Adapt(r)
+			for i, inst := range insts {
+				got, err := sc.Score(context.Background(), inst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBitwiseEq(t, fmt.Sprintf("Score(inst %d)", i), got, want[i])
+			}
+			batch, err := sc.(BatchScorer).ScoreBatch(context.Background(), insts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch) != len(insts) {
+				t.Fatalf("ScoreBatch returned %d score sets for %d instances", len(batch), len(insts))
+			}
+			for i := range insts {
+				assertBitwiseEq(t, fmt.Sprintf("ScoreBatch[%d]", i), batch[i], want[i])
+			}
+			one, err := sc.(BatchScorer).ScoreBatch(context.Background(), insts[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitwiseEq(t, "batch-of-1", one[0], want[0])
+		})
+	}
+}
+
+// TestAdaptCancellation: a canceled context stops adapted scoring before any
+// work happens.
+func TestAdaptCancellation(t *testing.T) {
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := Adapt(baselines.NewMMR())
+	if _, err := sc.Score(ctx, inst); err != context.Canceled {
+		t.Fatalf("Score under canceled ctx: %v", err)
+	}
+	if _, err := sc.(BatchScorer).ScoreBatch(ctx, []*rerank.Instance{inst}); err != context.Canceled {
+		t.Fatalf("ScoreBatch under canceled ctx: %v", err)
+	}
+}
+
+func assertBitwiseEq(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: score %d = %v, legacy %v (not bitwise identical)", label, i, got[i], want[i])
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postBatch(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/rerank:batch", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}

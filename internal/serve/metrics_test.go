@@ -23,8 +23,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files with the cur
 // care about model quality: it echoes the initial scores.
 type stubScorer struct{}
 
-func (stubScorer) Scores(inst *rerank.Instance) []float64 { return inst.InitScores }
-func (stubScorer) Name() string                           { return "stub" }
+func (stubScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	return inst.InitScores, nil
+}
+func (stubScorer) Name() string { return "stub" }
 
 func stubServer(t *testing.T, cfg Config) *Server {
 	t.Helper()

@@ -29,11 +29,16 @@ type Pinned struct {
 	// with the end-to-end latency. The model lifecycle layer feeds its
 	// per-version metrics and canary auto-rollback decision from here.
 	Observe func(outcome string, latency time.Duration)
-	// Shadow, if non-nil, is invoked after a successful scoring pass with
-	// the request instance and the primary model's scores (aligned with
-	// inst.Items). Implementations must not block: shadow work is scored
-	// asynchronously off the request path and shed under pressure.
-	Shadow func(inst *rerank.Instance, scores []float64)
+	// ShadowBatch, if non-nil, is invoked after a successful scoring pass
+	// with the request instances and the primary model's scores (each
+	// aligned with its instance's Items). The serving layer forwards whole
+	// scored batches, so shadow scoring reuses the batch shape instead of
+	// re-splitting per item. Implementations must not block: shadow work is
+	// scored asynchronously off the request path and shed under pressure.
+	ShadowBatch func(insts []*rerank.Instance, scores [][]float64)
+	// ShadowVersion labels the candidate ShadowBatch feeds; the coalescer
+	// only merges jobs whose pins shadow the same candidate.
+	ShadowVersion string
 }
 
 // Provider hands the server a model per request. It is the seam between the

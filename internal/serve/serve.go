@@ -54,11 +54,54 @@ import (
 // the Bi-LSTM's O(L) step chain would blow the budget anyway.
 const MaxListLength = 1024
 
-// Scorer is the model-side contract the server needs: score an instance,
-// name the model. *core.Model implements it; tests substitute stubs.
+// Scorer is the model-side contract the server needs: score an instance
+// under a context, name the model. Score must honor ctx — when the deadline
+// fires or the caller cancels, it stops working and returns ctx's error
+// rather than burning CPU on an abandoned request. *core.Model implements
+// it; tests substitute stubs; Adapt wraps legacy context-free rerankers.
+//
+// Scorer implementations must be comparable (pointer receivers or small
+// value types): the micro-batching coalescer groups in-flight requests by
+// (scorer, version) identity.
 type Scorer interface {
-	Scores(inst *rerank.Instance) []float64
+	Score(ctx context.Context, inst *rerank.Instance) ([]float64, error)
 	Name() string
+}
+
+// BatchScorer is the optional batched contract: score B instances in one
+// pass, returning one score slice per instance in input order. The serving
+// layer batches through this interface when a coalesced batch holds more
+// than one request; scorers without it are scored per instance.
+type BatchScorer interface {
+	Scorer
+	ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error)
+}
+
+// Adapt wraps a legacy context-free reranker (the rerank.Reranker contract)
+// as a Scorer. The adapter checks the context between instances, so batch
+// scoring through it still observes cancellation at instance granularity.
+func Adapt(r rerank.Reranker) Scorer { return &adapter{r: r} }
+
+type adapter struct{ r rerank.Reranker }
+
+func (a *adapter) Name() string { return a.r.Name() }
+
+func (a *adapter) Score(ctx context.Context, inst *rerank.Instance) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.r.Scores(inst), nil
+}
+
+func (a *adapter) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error) {
+	out := make([][]float64, len(insts))
+	for i, inst := range insts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = a.r.Scores(inst)
+	}
+	return out, nil
 }
 
 // Config bounds the server's resource envelope. The zero value is usable:
@@ -101,6 +144,10 @@ type Config struct {
 	// loopback peers instead — model swapping is never unauthenticated on a
 	// non-local listener.
 	AdminToken string
+	// Batch bounds the micro-batching coalescer; see BatchConfig. The zero
+	// value enables batching with the defaults (16 / 2ms); set MaxBatch to 1
+	// to score strictly per request.
+	Batch BatchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +174,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 60 * time.Second
+	}
+	if c.Batch.MaxBatch <= 0 {
+		c.Batch.MaxBatch = 16
+	}
+	if c.Batch.MaxWait <= 0 {
+		c.Batch.MaxWait = 2 * time.Millisecond
+	}
+	if c.Batch.Workers <= 0 {
+		c.Batch.Workers = max(2, runtime.GOMAXPROCS(0))
 	}
 	return c
 }
@@ -158,6 +214,10 @@ type serveMetrics struct {
 	queueWait   *obs.Histogram
 	scoring     *obs.Histogram
 	request     *obs.Histogram
+
+	batchRequests *obs.Counter   // /v1/rerank:batch envelopes
+	batchItems    *obs.Counter   // instances carried by those envelopes
+	batchSize     *obs.Histogram // instances per dispatched scoring batch
 }
 
 func newServeMetrics(r *obs.Registry) *serveMetrics {
@@ -182,6 +242,13 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 			"Model scoring wall-clock time, measured to completion even past the budget.", nil),
 		request: r.Histogram("rapid_request_latency_seconds",
 			"End-to-end /rerank handler latency.", nil),
+		batchRequests: r.Counter("rapid_batch_requests_total",
+			"Multi-instance /v1/rerank:batch envelopes received."),
+		batchItems: r.Counter("rapid_batch_items_total",
+			"Instances carried by /v1/rerank:batch envelopes."),
+		batchSize: r.Histogram("rapid_batch_size",
+			"Instances per dispatched scoring batch (single requests count as 1).",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
 	m.responsesOK = m.responses.With("ok")
 	return m
@@ -195,6 +262,7 @@ type Server struct {
 	ready    atomic.Bool
 	reg      *obs.Registry
 	met      *serveMetrics
+	batch    *coalescer
 
 	// Faults is the chaos-testing seam; nil in production.
 	Faults FaultInjector
@@ -226,6 +294,7 @@ func NewProviderServer(p Provider, cfg Config) *Server {
 		met:      newServeMetrics(reg),
 		Log:      log.Printf,
 	}
+	s.batch = newCoalescer(s)
 	s.ready.Store(true)
 	return s
 }
@@ -253,7 +322,11 @@ func (s *Server) Stats() Stats {
 // serving endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// /rerank is the documented alias of the v1 single-item route: both are
+	// served by the same handler and return byte-identical bodies.
 	mux.HandleFunc("POST /rerank", s.handleRerank)
+	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
+	mux.HandleFunc("POST /v1/rerank:batch", s.handleRerankBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -343,64 +416,26 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 		return // client gone; nothing to answer
 	}
 
+	// Scoring is delegated to the micro-batching coalescer: the request's
+	// job either rides a coalesced batch with other in-flight requests of
+	// the same (scorer, version) pin or dispatches alone when the server is
+	// idle. The worker releases this request's scoring slot when the work
+	// truly ends — an abandoned (deadline-overrun) pass still occupies CPU,
+	// and only that accounting keeps the concurrency bound honest.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
 	defer cancel()
-	done := make(chan scoreOutcome, 1)
-	go func() {
-		s.met.inflight.Add(1)
-		sstart := time.Now()
-		defer func() {
-			// Observed to true completion: a deadline-abandoned pass still
-			// lands its real latency here, which is exactly what the tail of
-			// this histogram is for.
-			s.met.scoring.ObserveDuration(time.Since(sstart))
-			s.met.inflight.Add(-1)
-			<-s.sem
-		}()
-		defer func() {
-			if p := recover(); p != nil {
-				s.met.panics.Inc()
-				s.Log("serve: recovered scoring panic: %v", p)
-				done <- scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
-			}
-		}()
-		if f := s.Faults; f != nil {
-			if err := f.BeforeScore(ctx, inst); err != nil {
-				done <- scoreOutcome{err: err}
-				return
-			}
-		}
-		done <- scoreOutcome{scores: pin.Scorer.Scores(inst)}
-	}()
+	done := s.batch.submit(ctx, pin, inst)
 
 	var resp RerankResponse
 	outcome := "ok"
 	select {
 	case out := <-done:
 		if out.err != nil {
-			reason := "error"
-			if out.panicked {
-				reason = "panic"
-			}
-			resp = s.degrade(inst, reason)
-			outcome = reason
+			outcome = degradeReason(out)
+			resp = s.degrade(inst, outcome)
 		} else {
-			order := rerank.OrderByScores(inst.Items, out.scores)
-			pos := make(map[int]int, len(inst.Items))
-			for i, id := range inst.Items {
-				pos[id] = i
-			}
-			ordered := make([]float64, len(order))
-			for i, id := range order {
-				ordered[i] = out.scores[pos[id]]
-			}
-			resp = RerankResponse{Ranked: order, Scores: ordered}
+			resp = okResponse(inst, out.scores)
 			s.met.responsesOK.Inc()
-			if pin.Shadow != nil {
-				// Off-path shadow scoring: submit and move on; the shadow
-				// pool sheds under pressure rather than delaying responses.
-				pin.Shadow(inst, out.scores)
-			}
 		}
 	case <-ctx.Done():
 		resp = s.degrade(inst, "deadline")
@@ -415,6 +450,147 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.Log("serve: encode response: %v", err)
+	}
+}
+
+// MaxBatchRequests caps the instances one /v1/rerank:batch envelope may
+// carry. The envelope is admitted as one unit against MaxInFlight; an
+// unbounded envelope would let a single caller monopolize the scoring pool.
+const MaxBatchRequests = 64
+
+// handleRerankBatch serves POST /v1/rerank:batch: a multi-instance
+// envelope scored as pre-grouped batches. Each item is pinned, validated
+// and answered independently (per-item degraded flags and error strings);
+// the envelope occupies one MaxInFlight slot and one Budget deadline as a
+// whole. Envelope-level counters observe the request once; per-item
+// degradations still land in the per-reason degraded counters.
+func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requests.Inc()
+	s.met.batchRequests.Inc()
+	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var breq RerankBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		s.met.badInput.Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.responses.With("too_large").Inc()
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.met.responses.With("bad_input").Inc()
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	n := len(breq.Requests)
+	if n == 0 || n > MaxBatchRequests {
+		s.met.badInput.Inc()
+		s.met.responses.With("bad_input").Inc()
+		http.Error(w, fmt.Sprintf("batch must carry 1..%d requests, got %d", MaxBatchRequests, n), http.StatusBadRequest)
+		return
+	}
+	s.met.batchItems.Add(int64(n))
+
+	// Pin and validate each item independently: one malformed item yields a
+	// per-item error, not a rejected envelope.
+	pins := make([]Pinned, n)
+	insts := make([]*rerank.Instance, n)
+	resps := make([]RerankResponse, n)
+	outcomes := make([]string, n)
+	valid := 0
+	for i := range breq.Requests {
+		pins[i] = s.provider.Pick(RouteKey(&breq.Requests[i]))
+		inst, err := ToInstance(pins[i].Manifest.Config, &breq.Requests[i])
+		if err != nil {
+			s.met.badInput.Inc()
+			resps[i] = RerankResponse{Error: err.Error()}
+			continue
+		}
+		insts[i] = inst
+		valid++
+	}
+
+	if valid > 0 {
+		// Admission: the whole envelope takes one scoring slot.
+		admit := time.NewTimer(s.cfg.QueueWait)
+		defer admit.Stop()
+		qstart := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+			s.met.queueWait.ObserveDuration(time.Since(qstart))
+		case <-admit.C:
+			s.met.shed.Inc()
+			s.met.responses.With("shed").Inc()
+			w.Header().Set("Retry-After", s.retryAfter())
+			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			return
+		case <-r.Context().Done():
+			s.met.responses.With("canceled").Inc()
+			return // client gone; nothing to answer
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
+		jobs := make([]*scoreJob, 0, valid)
+		idxs := make([]int, 0, valid)
+		for i := range breq.Requests {
+			if insts[i] == nil {
+				continue
+			}
+			jobs = append(jobs, &scoreJob{ctx: ctx, inst: insts[i], pin: pins[i], done: make(chan scoreOutcome, 1)})
+			idxs = append(idxs, i)
+		}
+		// The envelope is already a batch in hand: enqueue contiguous
+		// same-pin runs (split at MaxBatch) directly, skipping the MaxWait
+		// coalescing window.
+		for from := 0; from < len(jobs); {
+			key := batchKey{jobs[from].pin.Scorer, jobs[from].pin.Version}
+			to := from + 1
+			for to < len(jobs) && to-from < s.cfg.Batch.MaxBatch &&
+				(batchKey{jobs[to].pin.Scorer, jobs[to].pin.Version}) == key {
+				to++
+			}
+			s.batch.enqueue(jobs[from:to:to])
+			from = to
+		}
+		for k, j := range jobs {
+			i := idxs[k]
+			var out scoreOutcome
+			select {
+			case out = <-j.done:
+			case <-ctx.Done():
+				out = scoreOutcome{err: ctx.Err()}
+			}
+			if out.err != nil {
+				outcomes[i] = degradeReason(out)
+				s.met.degraded.With(outcomes[i]).Inc()
+				resps[i] = degradedResponse(insts[i], outcomes[i])
+			} else {
+				outcomes[i] = "ok"
+				resps[i] = okResponse(insts[i], out.scores)
+			}
+		}
+		cancel()
+		<-s.sem // release the envelope's slot
+	}
+
+	elapsed := time.Since(start)
+	ms := float64(elapsed.Microseconds()) / 1000
+	for i := range resps {
+		if insts[i] == nil {
+			continue
+		}
+		resps[i].ModelVersion = pins[i].Version
+		resps[i].Canary = pins[i].Canary
+		resps[i].LatencyMS = ms
+		if pins[i].Observe != nil {
+			pins[i].Observe(outcomes[i], elapsed)
+		}
+	}
+	s.met.responsesOK.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(RerankBatchResponse{Responses: resps}); err != nil {
+		s.Log("serve: encode batch response: %v", err)
 	}
 }
 
@@ -438,8 +614,42 @@ func (s *Server) retryAfter() string {
 func (s *Server) degrade(inst *rerank.Instance, reason string) RerankResponse {
 	s.met.degraded.With(reason).Inc()
 	s.met.responses.With("degraded").Inc()
+	return degradedResponse(inst, reason)
+}
+
+func degradedResponse(inst *rerank.Instance, reason string) RerankResponse {
 	order, scores := FallbackOrder(inst)
 	return RerankResponse{Ranked: order, Scores: scores, Degraded: true, DegradedReason: reason}
+}
+
+// degradeReason maps a scoring outcome's error to the degradation label:
+// panic for recovered panics, deadline for context expiry/cancellation
+// (a scorer that honored ctx reports the same reason the handler's own
+// timeout path would), error for everything else.
+func degradeReason(out scoreOutcome) string {
+	switch {
+	case out.panicked:
+		return "panic"
+	case errors.Is(out.err, context.DeadlineExceeded), errors.Is(out.err, context.Canceled):
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+// okResponse orders the list by the model's scores and aligns the score
+// slice with the returned ranking.
+func okResponse(inst *rerank.Instance, scores []float64) RerankResponse {
+	order := rerank.OrderByScores(inst.Items, scores)
+	pos := make(map[int]int, len(inst.Items))
+	for i, id := range inst.Items {
+		pos[id] = i
+	}
+	ordered := make([]float64, len(order))
+	for i, id := range order {
+		ordered[i] = scores[pos[id]]
+	}
+	return RerankResponse{Ranked: order, Scores: ordered}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -516,5 +726,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
+	// All in-flight handlers have returned; flush stragglers and stop the
+	// scoring workers.
+	s.batch.close()
 	return nil
 }

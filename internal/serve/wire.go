@@ -46,6 +46,23 @@ type RerankResponse struct {
 	ModelVersion string  `json:"model_version,omitempty"`
 	Canary       bool    `json:"canary,omitempty"`
 	LatencyMS    float64 `json:"latency_ms"`
+	// Error reports a per-item validation failure inside a batch envelope
+	// (the single-item routes answer 4xx instead). An item with Error set
+	// has no ranking.
+	Error string `json:"error,omitempty"`
+}
+
+// RerankBatchRequest is the wire format of POST /v1/rerank:batch: up to
+// MaxBatchRequests independent re-rank requests scored as one envelope.
+type RerankBatchRequest struct {
+	Requests []RerankRequest `json:"requests"`
+}
+
+// RerankBatchResponse carries one response per request, in request order.
+// Items degrade independently: inspect each response's Degraded/Error
+// rather than an envelope-level status.
+type RerankBatchResponse struct {
+	Responses []RerankResponse `json:"responses"`
 }
 
 // ToInstance validates the wire request against the model geometry and

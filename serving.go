@@ -1,0 +1,120 @@
+package rapid
+
+import (
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Serving (internal/serve). NewServer wraps a trained model in the hardened
+// HTTP serving layer — deadline/degradation envelope, micro-batched scoring
+// and the versioned v1 endpoints (POST /v1/rerank, POST /v1/rerank:batch,
+// with POST /rerank kept as an alias).
+type (
+	// Server is the hardened re-ranking HTTP server.
+	Server = serve.Server
+	// Scorer is the context-aware scoring interface the server accepts.
+	Scorer = serve.Scorer
+	// BatchScorer is the optional batched extension of Scorer.
+	BatchScorer = serve.BatchScorer
+	// RerankRequest is the wire form of one re-ranking request.
+	RerankRequest = serve.RerankRequest
+	// RerankItem is one candidate item on the wire.
+	RerankItem = serve.RerankItem
+	// SeqItemWire is one behavior-sequence item on the wire.
+	SeqItemWire = serve.SeqItemWire
+	// RerankResponse is the wire form of one re-ranking response.
+	RerankResponse = serve.RerankResponse
+	// RerankBatchRequest is the /v1/rerank:batch envelope.
+	RerankBatchRequest = serve.RerankBatchRequest
+	// RerankBatchResponse answers a batch envelope item by item.
+	RerankBatchResponse = serve.RerankBatchResponse
+)
+
+// AdaptReranker lifts a legacy Reranker (its Scores method has no context)
+// into the context-aware Scorer interface, including a sequential
+// ScoreBatch. RAPID models implement Scorer natively and do not need it.
+func AdaptReranker(r Reranker) Scorer { return serve.Adapt(r) }
+
+// serverOptions collects what the functional options below configure.
+type serverOptions struct {
+	cfg     serve.Config
+	dataset string
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverOptions)
+
+// WithDeadline sets the per-request scoring budget; on overrun the response
+// degrades to the initial ordering instead of failing (default 50ms).
+func WithDeadline(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.Budget = d }
+}
+
+// WithBatching bounds the micro-batching coalescer: at most maxBatch
+// concurrent requests are scored in one batched forward pass, and no
+// request waits more than maxWait for batch-mates (defaults 16, 2ms).
+// maxBatch 1 disables coalescing.
+func WithBatching(maxBatch int, maxWait time.Duration) ServerOption {
+	return func(o *serverOptions) {
+		o.cfg.Batch.MaxBatch = maxBatch
+		o.cfg.Batch.MaxWait = maxWait
+	}
+}
+
+// WithBatchWorkers sets the number of scoring workers draining batches
+// (default max(2, GOMAXPROCS)).
+func WithBatchWorkers(n int) ServerOption {
+	return func(o *serverOptions) { o.cfg.Batch.Workers = n }
+}
+
+// WithMaxInFlight bounds concurrently executing scoring passes (default
+// 4×GOMAXPROCS).
+func WithMaxInFlight(n int) ServerOption {
+	return func(o *serverOptions) { o.cfg.MaxInFlight = n }
+}
+
+// WithQueueWait bounds how long an admitted request may wait for a scoring
+// slot before it is shed with 429 (default 10ms).
+func WithQueueWait(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.QueueWait = d }
+}
+
+// WithMaxBodyBytes caps the request body size (default 8 MiB).
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(o *serverOptions) { o.cfg.MaxBodyBytes = n }
+}
+
+// WithDrainTimeout bounds graceful shutdown (default 10s).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.DrainTimeout = d }
+}
+
+// WithDataset labels the served model's dataset in /healthz and logs
+// (default "custom").
+func WithDataset(name string) ServerOption {
+	return func(o *serverOptions) { o.dataset = name }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (opt-in; profiling
+// endpoints expose heap contents).
+func WithPprof() ServerOption {
+	return func(o *serverOptions) { o.cfg.Pprof = true }
+}
+
+// NewServer wraps a RAPID model in the serving layer. The model scores
+// through the batched inference engine: concurrent requests coalesce into
+// one forward pass whose per-step GEMMs carry all batch members at once.
+//
+//	srv := rapid.NewServer(model,
+//	    rapid.WithDeadline(50*time.Millisecond),
+//	    rapid.WithBatching(16, 2*time.Millisecond))
+//	http.ListenAndServe(":8080", srv.Handler())
+func NewServer(model *Model, opts ...ServerOption) *Server {
+	o := serverOptions{dataset: "custom"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	man := serve.Manifest{Dataset: o.dataset, Config: model.Cfg}
+	return serve.NewServer(model, man, o.cfg)
+}
