@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 
@@ -46,6 +47,15 @@ type scoreJob struct {
 type batchKey struct {
 	scorer  Scorer
 	version string
+}
+
+// comparableScorer reports whether s's dynamic type supports ==, the
+// precondition for using it in a batchKey (map key / group comparison). A
+// user-supplied scorer with slice, map or func fields fails this; such
+// scorers score unbatched instead of panicking in the coalescer.
+func comparableScorer(s Scorer) bool {
+	t := reflect.TypeOf(s)
+	return t != nil && t.Comparable()
 }
 
 type pendingBatch struct {
@@ -104,7 +114,7 @@ func (c *coalescer) start() {
 func (c *coalescer) submit(ctx context.Context, pin Pinned, inst *rerank.Instance) <-chan scoreOutcome {
 	c.start()
 	j := &scoreJob{ctx: ctx, inst: inst, pin: pin, done: make(chan scoreOutcome, 1), ownsSlot: true}
-	if c.s.cfg.Batch.MaxBatch <= 1 || len(c.s.sem) <= 1 {
+	if c.s.cfg.Batch.MaxBatch <= 1 || len(c.s.sem) <= 1 || !comparableScorer(pin.Scorer) {
 		c.dispatch <- []*scoreJob{j}
 		return j.done
 	}
@@ -189,8 +199,13 @@ func (c *coalescer) close() {
 // context already ended finish early without scoring, fault injection runs
 // per job, live jobs score in one pass, and results (or the batch-wide
 // error) fan back to each job's waiter.
+//
+// The filtered slices are fresh allocations, never compactions of jobs:
+// the batch endpoint enqueues subslices of a jobs array it keeps ranging
+// over to collect results, so writing into jobs' backing array here would
+// race with the handler and shift its job pointers.
 func (s *Server) runBatch(jobs []*scoreJob) {
-	live := jobs[:0]
+	live := make([]*scoreJob, 0, len(jobs))
 	for _, j := range jobs {
 		if err := j.ctx.Err(); err != nil {
 			s.finish(j, scoreOutcome{err: err})
@@ -210,7 +225,7 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 	// gauge, exactly as it did when each request scored on its own goroutine.
 	var faulted []*scoreJob
 	var fouts []scoreOutcome
-	pass := live[:0]
+	pass := make([]*scoreJob, 0, len(live))
 	for _, j := range live {
 		if out := s.beforeScore(j); out.err != nil {
 			faulted = append(faulted, j)

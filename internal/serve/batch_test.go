@@ -405,6 +405,191 @@ func TestAdaptCancellation(t *testing.T) {
 	}
 }
 
+// TestBatchEnvelopeFaultAttribution: a fault on an EARLIER envelope item
+// must not shift the scores of later items onto the wrong responses. This
+// is the regression test for runBatch compacting the dispatched slice in
+// place: the envelope handler keeps ranging over the same backing array, so
+// the compaction both raced (visible under -race) and could misattribute
+// one item's scores to another.
+func TestBatchEnvelopeFaultAttribution(t *testing.T) {
+	s := stubServer(t, Config{})
+	s.Faults = FaultFunc(func(_ context.Context, inst *rerank.Instance) error {
+		if inst.Items[0] == 17 {
+			return fmt.Errorf("injected: item 17 feature store down")
+		}
+		return nil
+	})
+	h := s.Handler()
+
+	// Item k carries init score 0.9+k on its lead item; the stub scorer
+	// echoes init scores, so each response's top score names its request.
+	marked := validRequest()
+	marked.Items[0].ID = 17
+	env := RerankBatchRequest{Requests: []RerankRequest{*marked}}
+	for k := 1; k < 4; k++ {
+		req := validRequest()
+		req.Items[0].InitScore = 0.9 + float64(k)
+		env.Requests = append(env.Requests, *req)
+	}
+
+	w := postBatch(t, h, mustJSON(t, env))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Responses[0].Degraded {
+		t.Fatalf("faulted lead item not degraded: %+v", resp.Responses[0])
+	}
+	for k := 1; k < 4; k++ {
+		got := resp.Responses[k]
+		if got.Degraded || got.Error != "" {
+			t.Fatalf("item %d caught its batch-mate's fault: %+v", k, got)
+		}
+		if want := 0.9 + float64(k); got.Scores[0] != want {
+			t.Fatalf("item %d got score %v, want %v — scores attributed to the wrong request", k, got.Scores[0], want)
+		}
+	}
+}
+
+// funcScorer's func field makes its dynamic type non-comparable: using it in
+// a batchKey (map key or ==) would panic at runtime.
+type funcScorer struct {
+	fn func(*rerank.Instance) []float64
+}
+
+func (f funcScorer) Name() string { return "func-scorer" }
+func (f funcScorer) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
+	return f.fn(inst), nil
+}
+
+// TestNonComparableScorerFallsBack: a scorer whose dynamic type does not
+// support == must score unbatched instead of panicking in the coalescer —
+// on the submit path (map key) and on the envelope grouping path (==).
+func TestNonComparableScorerFallsBack(t *testing.T) {
+	fs := funcScorer{fn: func(inst *rerank.Instance) []float64 { return inst.InitScores }}
+	s := NewServer(fs, Manifest{Dataset: "test", Config: testConfig()}, Config{MaxInFlight: 16})
+	s.Log = t.Logf
+	h := s.Handler()
+
+	if w := postRerank(t, h, mustJSON(t, validRequest())); w.Code != http.StatusOK {
+		t.Fatalf("single request with non-comparable scorer: status %d: %s", w.Code, w.Body.String())
+	}
+	env := RerankBatchRequest{Requests: []RerankRequest{*validRequest(), *validRequest()}}
+	w := postBatch(t, h, mustJSON(t, env))
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch envelope with non-comparable scorer: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp RerankBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Responses {
+		if item.Degraded || item.Error != "" {
+			t.Fatalf("item %d did not score: %+v", i, item)
+		}
+	}
+
+	// The coalescing path proper (server busy, map keyed by scorer): the
+	// job must dispatch solo rather than panic on the non-comparable key.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	inst, err := ToInstance(testConfig(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sem <- struct{}{}
+	done := s.batch.submit(context.Background(), Pinned{Scorer: fs, Version: "v1"}, inst)
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("coalesced submit with non-comparable scorer: %v", out.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("non-comparable scorer job never completed")
+	}
+}
+
+// TestBatchEnvelopeTerminalStatus: the envelope's responses_total status
+// reflects its items — all-invalid counts bad_input, all-degraded counts
+// degraded, and only an envelope with at least one scored item counts ok.
+func TestBatchEnvelopeTerminalStatus(t *testing.T) {
+	s := stubServer(t, Config{})
+	h := s.Handler()
+	ok := s.met.responses.With("ok")
+	badInput := s.met.responses.With("bad_input")
+	degraded := s.met.responses.With("degraded")
+
+	bad := validRequest()
+	bad.UserFeatures = []float64{0.1} // wrong geometry
+	if w := postBatch(t, h, mustJSON(t, RerankBatchRequest{Requests: []RerankRequest{*bad, *bad}})); w.Code != http.StatusOK {
+		t.Fatalf("all-invalid envelope status %d", w.Code)
+	}
+	if ok.Value() != 0 || badInput.Value() != 1 {
+		t.Fatalf("all-invalid envelope counted ok=%d bad_input=%d, want 0/1", ok.Value(), badInput.Value())
+	}
+
+	s.Faults = FaultFunc(func(context.Context, *rerank.Instance) error {
+		return fmt.Errorf("injected: everything is down")
+	})
+	if w := postBatch(t, h, mustJSON(t, RerankBatchRequest{Requests: []RerankRequest{*validRequest()}})); w.Code != http.StatusOK {
+		t.Fatalf("all-degraded envelope status %d", w.Code)
+	}
+	if ok.Value() != 0 || degraded.Value() != 1 {
+		t.Fatalf("all-degraded envelope counted ok=%d degraded=%d, want 0/1", ok.Value(), degraded.Value())
+	}
+
+	s.Faults = nil
+	if w := postBatch(t, h, mustJSON(t, RerankBatchRequest{Requests: []RerankRequest{*validRequest(), *bad}})); w.Code != http.StatusOK {
+		t.Fatalf("mixed envelope status %d", w.Code)
+	}
+	if ok.Value() != 1 {
+		t.Fatalf("mixed envelope with a scored item counted ok=%d, want 1", ok.Value())
+	}
+}
+
+// blockScorer parks in Score until its context ends; the chan field keeps
+// the type comparable and signals the test that scoring has begun.
+type blockScorer struct{ started chan struct{} }
+
+func (b blockScorer) Name() string { return "block" }
+func (b blockScorer) Score(ctx context.Context, _ *rerank.Instance) ([]float64, error) {
+	b.started <- struct{}{}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestClientCancelCountsCanceled: a client that disconnects mid-scoring is
+// counted as canceled (matching the admission path), not as a deadline
+// degradation, and no response body is serialized for it.
+func TestClientCancelCountsCanceled(t *testing.T) {
+	bs := blockScorer{started: make(chan struct{}, 1)}
+	s := NewServer(bs, Manifest{Dataset: "test", Config: testConfig()}, Config{Budget: 5 * time.Second})
+	s.Log = t.Logf
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-bs.started
+		cancel()
+	}()
+	req := httptest.NewRequest(http.MethodPost, "/v1/rerank", bytes.NewReader(mustJSON(t, validRequest()))).WithContext(ctx)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+
+	if got := s.met.responses.With("canceled").Value(); got != 1 {
+		t.Fatalf("responses{canceled} = %d, want 1", got)
+	}
+	if got := s.met.degraded.Total(); got != 0 {
+		t.Fatalf("client cancel recorded %d degradations, want 0", got)
+	}
+	if w.Body.Len() != 0 {
+		t.Fatalf("response body serialized for a departed client: %s", w.Body.String())
+	}
+}
+
 func assertBitwiseEq(t *testing.T, label string, got, want []float64) {
 	t.Helper()
 	if len(got) != len(want) {

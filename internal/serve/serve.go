@@ -60,9 +60,10 @@ const MaxListLength = 1024
 // rather than burning CPU on an abandoned request. *core.Model implements
 // it; tests substitute stubs; Adapt wraps legacy context-free rerankers.
 //
-// Scorer implementations must be comparable (pointer receivers or small
+// Scorer implementations should be comparable (pointer receivers or small
 // value types): the micro-batching coalescer groups in-flight requests by
-// (scorer, version) identity.
+// (scorer, version) identity. A scorer whose dynamic type does not support
+// == is detected at submission and scored unbatched instead.
 type Scorer interface {
 	Score(ctx context.Context, inst *rerank.Instance) ([]float64, error)
 	Name() string
@@ -431,6 +432,14 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-done:
 		if out.err != nil {
+			// A client disconnect surfaces as context.Canceled with the
+			// request context done; count it as canceled (matching the
+			// admission path) and skip serializing a response nobody reads —
+			// it is not a budget overrun.
+			if errors.Is(out.err, context.Canceled) && r.Context().Err() != nil {
+				s.met.responses.With("canceled").Inc()
+				return
+			}
 			outcome = degradeReason(out)
 			resp = s.degrade(inst, outcome)
 		} else {
@@ -438,6 +447,10 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 			s.met.responsesOK.Inc()
 		}
 	case <-ctx.Done():
+		if r.Context().Err() != nil {
+			s.met.responses.With("canceled").Inc()
+			return
+		}
 		resp = s.degrade(inst, "deadline")
 		outcome = "deadline"
 	}
@@ -530,7 +543,19 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 			s.met.responses.With("canceled").Inc()
 			return // client gone; nothing to answer
 		}
+		// Release the envelope's slot and timeout context on every exit —
+		// including a panic recovered by the outer handler wrapper — or one
+		// MaxInFlight slot would leak until restart. The straight-line path
+		// releases the slot early, before response labeling and encoding,
+		// so a slow client never holds scoring capacity.
+		held := true
+		defer func() {
+			if held {
+				<-s.sem
+			}
+		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
+		defer cancel()
 		jobs := make([]*scoreJob, 0, valid)
 		idxs := make([]int, 0, valid)
 		for i := range breq.Requests {
@@ -542,13 +567,17 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		// The envelope is already a batch in hand: enqueue contiguous
 		// same-pin runs (split at MaxBatch) directly, skipping the MaxWait
-		// coalescing window.
+		// coalescing window. A non-comparable scorer cannot form a batchKey,
+		// so its jobs enqueue one by one.
 		for from := 0; from < len(jobs); {
-			key := batchKey{jobs[from].pin.Scorer, jobs[from].pin.Version}
 			to := from + 1
-			for to < len(jobs) && to-from < s.cfg.Batch.MaxBatch &&
-				(batchKey{jobs[to].pin.Scorer, jobs[to].pin.Version}) == key {
-				to++
+			if comparableScorer(jobs[from].pin.Scorer) {
+				key := batchKey{jobs[from].pin.Scorer, jobs[from].pin.Version}
+				for to < len(jobs) && to-from < s.cfg.Batch.MaxBatch &&
+					comparableScorer(jobs[to].pin.Scorer) &&
+					(batchKey{jobs[to].pin.Scorer, jobs[to].pin.Version}) == key {
+					to++
+				}
 			}
 			s.batch.enqueue(jobs[from:to:to])
 			from = to
@@ -562,6 +591,14 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 				out = scoreOutcome{err: ctx.Err()}
 			}
 			if out.err != nil {
+				// A client disconnect cancels ctx for every remaining item;
+				// count the envelope once as canceled and skip serializing a
+				// response nobody will read. The deferred release frees the
+				// slot; workers still drain the buffered done channels.
+				if errors.Is(out.err, context.Canceled) && r.Context().Err() != nil {
+					s.met.responses.With("canceled").Inc()
+					return
+				}
 				outcomes[i] = degradeReason(out)
 				s.met.degraded.With(outcomes[i]).Inc()
 				resps[i] = degradedResponse(insts[i], outcomes[i])
@@ -570,7 +607,7 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 				resps[i] = okResponse(insts[i], out.scores)
 			}
 		}
-		cancel()
+		held = false
 		<-s.sem // release the envelope's slot
 	}
 
@@ -587,7 +624,21 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 			pins[i].Observe(outcomes[i], elapsed)
 		}
 	}
-	s.met.responsesOK.Inc()
+	// The envelope's terminal status reflects its items: ok if any item
+	// scored, degraded if any item at least reached scoring, bad_input when
+	// every item failed validation. Counting every envelope as ok would hide
+	// batch-path failures from ok-rate dashboards.
+	status := "bad_input"
+	for i := range resps {
+		if outcomes[i] == "ok" {
+			status = "ok"
+			break
+		}
+		if insts[i] != nil {
+			status = "degraded"
+		}
+	}
+	s.met.responses.With(status).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(RerankBatchResponse{Responses: resps}); err != nil {
 		s.Log("serve: encode batch response: %v", err)
@@ -625,7 +676,9 @@ func degradedResponse(inst *rerank.Instance, reason string) RerankResponse {
 // degradeReason maps a scoring outcome's error to the degradation label:
 // panic for recovered panics, deadline for context expiry/cancellation
 // (a scorer that honored ctx reports the same reason the handler's own
-// timeout path would), error for everything else.
+// timeout path would), error for everything else. Client disconnects are
+// filtered out by the handlers before this mapping — a canceled request
+// context counts as "canceled", not a degradation.
 func degradeReason(out scoreOutcome) string {
 	switch {
 	case out.panicked:
