@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke bench bench-json bench-batch bench-batch-smoke
+.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke bench bench-json bench-batch bench-batch-smoke
 
 check: vet fmt test
 
@@ -44,6 +44,15 @@ fuzz:
 # through the real binaries.
 smoke:
 	./scripts/lifecycle_smoke.sh
+
+# Fleet chaos smoke: three registry-mode replicas (one 10x slow, distinct
+# model versions across stores) behind rapidrouter, with a kill -9 + restart
+# mid-load. Asserts zero dropped requests, version-skew detection, retry and
+# hedge accounting, and writes hedged/unhedged latency percentiles to
+# BENCH_PR6.json. The end-to-end check of internal/router through the real
+# binaries.
+chaos-smoke:
+	./scripts/router_chaos_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,297 @@
+// Command rapidload is an open-loop load generator for the serving fleet:
+// it fires re-rank requests at a fixed rate — arrivals do not wait for
+// completions, so a slow target builds queueing like real traffic would —
+// with user popularity drawn from a Zipf distribution, and reports outcome
+// counts and latency percentiles.
+//
+//	rapidload -target http://127.0.0.1:8090 -manifest model.json \
+//	  -rps 200 -duration 30s -benchjson BENCH_PR6.json -scenario hedged
+//
+// Each synthetic user has a deterministic feature vector, so the same user
+// always produces the same route key and lands on the same replica: the
+// Zipf skew therefore exercises the router's consistent-hash load shape,
+// not just its aggregate throughput. With -benchjson the run is merged into
+// a scenario map by name, so consecutive runs (e.g. hedged vs unhedged)
+// accumulate into one report.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/benchsuite"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8090", "base URL of the router or replica under load")
+		manifest = flag.String("manifest", "", "model manifest JSON (from rapidtrain) supplying the request geometry")
+		userDim  = flag.Int("user-dim", 8, "user feature dims when no -manifest is given")
+		itemDim  = flag.Int("item-dim", 8, "item feature dims when no -manifest is given")
+		topics   = flag.Int("topics", 5, "topic count when no -manifest is given")
+		listLen  = flag.Int("list-len", 10, "candidate list length per request")
+
+		rps      = flag.Float64("rps", 100, "open-loop arrival rate, requests per second")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		users    = flag.Int("users", 1000, "synthetic user population")
+		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf exponent of user popularity (>1; larger = more skew)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		seed     = flag.Int64("seed", 1, "user-population and arrival seed")
+
+		benchJSON = flag.String("benchjson", "", "merge results into this load report (e.g. BENCH_PR6.json)")
+		scenario  = flag.String("scenario", "default", "scenario name for -benchjson")
+		maxErrRat = flag.Float64("max-error-rate", 1, "exit non-zero if errors/requests exceeds this fraction")
+	)
+	flag.Parse()
+	if err := run(loadConfig{
+		target: *target, manifest: *manifest,
+		userDim: *userDim, itemDim: *itemDim, topics: *topics, listLen: *listLen,
+		rps: *rps, duration: *duration, users: *users, zipfS: *zipfS,
+		timeout: *timeout, seed: *seed,
+		benchJSON: *benchJSON, scenario: *scenario, maxErrRate: *maxErrRat,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "rapidload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	target, manifest                  string
+	userDim, itemDim, topics, listLen int
+	rps                               float64
+	duration                          time.Duration
+	users                             int
+	zipfS                             float64
+	timeout                           time.Duration
+	seed                              int64
+	benchJSON, scenario               string
+	maxErrRate                        float64
+}
+
+// outcome tallies terminal request results under one mutex with the latency
+// sample.
+type outcome struct {
+	mu        sync.Mutex
+	ok        int64
+	degraded  int64
+	shed      int64
+	errors    int64
+	latencyMS []float64
+}
+
+func run(cfg loadConfig) error {
+	if cfg.manifest != "" {
+		raw, err := os.ReadFile(cfg.manifest)
+		if err != nil {
+			return err
+		}
+		var man serve.Manifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			return fmt.Errorf("manifest %s: %v", cfg.manifest, err)
+		}
+		cfg.userDim = man.Config.UserDim
+		cfg.itemDim = man.Config.ItemDim
+		cfg.topics = man.Config.Topics
+	}
+	if cfg.rps <= 0 || cfg.users <= 0 || cfg.listLen <= 0 {
+		return fmt.Errorf("rps, users and list-len must be positive")
+	}
+	if cfg.zipfS <= 1 {
+		return fmt.Errorf("zipf-s must be > 1")
+	}
+
+	bodies := newBodyCache(cfg)
+	rng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.users-1))
+	client := &http.Client{Timeout: cfg.timeout}
+	var res outcome
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.duration)
+	defer deadline.Stop()
+
+	fmt.Fprintf(os.Stderr, "rapidload: %s at %.0f rps for %v (%d users, zipf %.2f)\n",
+		cfg.target, cfg.rps, cfg.duration, cfg.users, cfg.zipfS)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			user := int(zipf.Uint64())
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fire(client, cfg.target, bodies.get(user), &res)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	p50, p90, p99, max := benchsuite.Percentiles(res.latencyMS)
+	total := res.ok + res.degraded + res.shed + res.errors
+	fmt.Fprintf(os.Stderr,
+		"rapidload: %d requests in %v — ok %d, degraded %d, shed %d, errors %d\n"+
+			"rapidload: latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
+		total, elapsed.Round(time.Millisecond), res.ok, res.degraded, res.shed, res.errors,
+		p50, p90, p99, max)
+
+	if cfg.benchJSON != "" {
+		sc := benchsuite.LoadScenario{
+			Name:      cfg.scenario,
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Target:    cfg.target,
+			TargetRPS: cfg.rps,
+			DurationS: elapsed.Seconds(),
+			Requests:  total,
+			OK:        res.ok,
+			Degraded:  res.degraded,
+			Shed:      res.shed,
+			Errors:    res.errors,
+			P50MS:     p50,
+			P90MS:     p90,
+			P99MS:     p99,
+			MaxMS:     max,
+		}
+		if err := benchsuite.MergeLoadScenario(cfg.benchJSON, sc); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rapidload: merged scenario %q into %s\n", cfg.scenario, cfg.benchJSON)
+	}
+	if total > 0 && float64(res.errors)/float64(total) > cfg.maxErrRate {
+		return fmt.Errorf("error rate %.3f exceeds -max-error-rate %.3f",
+			float64(res.errors)/float64(total), cfg.maxErrRate)
+	}
+	return nil
+}
+
+// fire sends one request and classifies the result.
+func fire(client *http.Client, target string, body []byte, res *outcome) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		target+"/v1/rerank", bytes.NewReader(body))
+	if err != nil {
+		res.add("error", 0)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		res.add("error", time.Since(start))
+		return
+	}
+	defer resp.Body.Close()
+	var rr serve.RerankResponse
+	dec := json.NewDecoder(resp.Body)
+	lat := time.Since(start)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if dec.Decode(&rr) == nil && rr.Degraded {
+			res.add("degraded", lat)
+		} else {
+			res.add("ok", lat)
+		}
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		res.add("shed", lat)
+	default:
+		res.add("error", lat)
+	}
+}
+
+func (o *outcome) add(kind string, lat time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch kind {
+	case "ok":
+		o.ok++
+	case "degraded":
+		o.degraded++
+	case "shed":
+		o.shed++
+	default:
+		o.errors++
+	}
+	if lat > 0 {
+		o.latencyMS = append(o.latencyMS, float64(lat)/float64(time.Millisecond))
+	}
+}
+
+// bodyCache lazily builds one deterministic request body per synthetic user:
+// features are seeded by the user id, so user u's body — and therefore its
+// route key and owning replica — is identical across runs and processes.
+type bodyCache struct {
+	cfg loadConfig
+	mu  sync.Mutex
+	by  map[int][]byte
+}
+
+func newBodyCache(cfg loadConfig) *bodyCache {
+	return &bodyCache{cfg: cfg, by: make(map[int][]byte)}
+}
+
+func (c *bodyCache) get(user int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.by[user]; ok {
+		return b
+	}
+	b := c.build(user)
+	c.by[user] = b
+	return b
+}
+
+func (c *bodyCache) build(user int) []byte {
+	rng := rand.New(rand.NewSource(int64(user) + 1))
+	vec := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	req := serve.RerankRequest{
+		UserFeatures:   vec(c.cfg.userDim),
+		TopicSequences: make([][]serve.SeqItemWire, c.cfg.topics),
+	}
+	for j := range req.TopicSequences {
+		seq := make([]serve.SeqItemWire, 2)
+		for k := range seq {
+			seq[k] = serve.SeqItemWire{Features: vec(c.cfg.itemDim)}
+		}
+		req.TopicSequences[j] = seq
+	}
+	for i := 0; i < c.cfg.listLen; i++ {
+		cover := make([]float64, c.cfg.topics)
+		for j := range cover {
+			cover[j] = rng.Float64() * 0.5
+		}
+		req.Items = append(req.Items, serve.RerankItem{
+			ID:        user*1000 + i,
+			Features:  vec(c.cfg.itemDim),
+			Cover:     cover,
+			InitScore: rng.Float64(),
+		})
+	}
+	b, err := json.Marshal(&req)
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	return b
+}

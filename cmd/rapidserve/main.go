@@ -53,15 +53,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/registry"
+	"repro/internal/rerank"
 	"repro/internal/serve"
 )
 
@@ -82,6 +86,11 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "max instances per coalesced scoring batch (0 = default 16; 1 disables batching)")
 		batchWait    = flag.Duration("batch-wait", 0, "how long a request gathers batch-mates before scoring (0 = default 2ms)")
 		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
+
+		chaosLatency = flag.Duration("chaos-latency", 0, "CHAOS TESTING: extra latency injected into the scoring path (0 = off); slows responses while -budget allows, degrades them past it")
+		chaosLatRate = flag.Float64("chaos-latency-rate", 1, "CHAOS TESTING: fraction of requests receiving -chaos-latency")
+		chaosErrRate = flag.Float64("chaos-error-rate", 0, "CHAOS TESTING: fraction of requests failing with an injected scoring error (degraded responses)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "CHAOS TESTING: RNG seed for the -chaos-* sampling")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -100,11 +109,12 @@ func main() {
 			Workers:  *batchWorkers,
 		},
 	}
+	faults := chaosHooks(*chaosLatency, *chaosLatRate, *chaosErrRate, *chaosSeed)
 	var err error
 	if *modelRoot != "" {
-		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn)
+		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn, faults)
 	} else {
-		err = run(ctx, *modelPath, *addr, cfg)
+		err = run(ctx, *modelPath, *addr, cfg, faults)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rapidserve: %v\n", err)
@@ -112,13 +122,59 @@ func main() {
 	}
 }
 
+// chaosHooks builds the scoring-path fault injector from the -chaos-* flags,
+// or nil when chaos is off. The flags turn any replica into a controllable
+// sick node for fleet testing: injected latency (a slow node, as long as the
+// budget allows; degraded responses past it) and injected scoring errors
+// (degraded responses, never 5xx — the serving layer's contract).
+func chaosHooks(latency time.Duration, latencyRate, errRate float64, seed int64) serve.FaultInjector {
+	if latency <= 0 && errRate <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	roll := func(rate float64) bool {
+		if rate <= 0 {
+			return false
+		}
+		if rate >= 1 {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < rate
+	}
+	return serve.FaultHooks{
+		Before: func(context.Context, *rerank.Instance) error {
+			if roll(errRate) {
+				return errors.New("chaos: injected scoring error")
+			}
+			return nil
+		},
+		After: func(ctx context.Context, _ *rerank.Instance, _ []float64) error {
+			if latency <= 0 || !roll(latencyRate) {
+				return nil
+			}
+			t := time.NewTimer(latency)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err() // past the budget: degrade as a deadline miss
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+}
+
 // run is the single-model deployment shape: one fixed model, no lifecycle.
-func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
+func run(ctx context.Context, modelPath, addr string, cfg serve.Config, faults serve.FaultInjector) error {
 	model, man, err := serve.LoadModel(modelPath)
 	if err != nil {
 		return err
 	}
 	srv := serve.NewServer(model, man, cfg)
+	srv.Faults = faults
 	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v, metrics at /metrics, pprof %v)",
 		addr, model.Name(), man.Dataset, cfg.Budget, cfg.Pprof)
 	return srv.Run(ctx, addr)
@@ -127,7 +183,7 @@ func run(ctx context.Context, modelPath, addr string, cfg serve.Config) error {
 // runRegistry is the versioned deployment shape: activate the newest
 // published version, serve through the registry so versions hot-swap under
 // live traffic, expose the lifecycle admin API, and rescan on SIGHUP.
-func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canaryPct float64, shadow bool) error {
+func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canaryPct float64, shadow bool, faults serve.FaultInjector) error {
 	reg, err := registry.New(registry.Config{
 		Root:          root,
 		CanaryPercent: canaryPct,
@@ -144,6 +200,7 @@ func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canar
 	cfg.Registry = reg.ObsRegistry()
 	cfg.Admin = reg
 	srv := serve.NewProviderServer(reg, cfg)
+	srv.Faults = faults
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

@@ -14,14 +14,14 @@ import (
 )
 
 func TestRunMissingModel(t *testing.T) {
-	err := run(context.Background(), filepath.Join(t.TempDir(), "nope.gob"), "127.0.0.1:0", serve.Config{})
+	err := run(context.Background(), filepath.Join(t.TempDir(), "nope.gob"), "127.0.0.1:0", serve.Config{}, nil)
 	if err == nil {
 		t.Fatal("missing model accepted")
 	}
 }
 
 func TestRunRegistryEmptyRoot(t *testing.T) {
-	err := runRegistry(context.Background(), t.TempDir(), "127.0.0.1:0", serve.Config{}, 5, false)
+	err := runRegistry(context.Background(), t.TempDir(), "127.0.0.1:0", serve.Config{}, 5, false, nil)
 	if err == nil {
 		t.Fatal("empty registry root accepted")
 	}
@@ -43,7 +43,7 @@ func TestRunRegistryStartsAndDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- runRegistry(ctx, root, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, 5, true)
+		errc <- runRegistry(ctx, root, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, 5, true, nil)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
@@ -81,7 +81,7 @@ func TestRunStartsAndDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, modelPath, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second})
+		errc <- run(ctx, modelPath, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, nil)
 	}()
 	// Give the listener a moment to come up, then simulate SIGTERM.
 	time.Sleep(50 * time.Millisecond)

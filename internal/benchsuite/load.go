@@ -1,0 +1,98 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// LoadScenario is one rapidload run's measurements: an open-loop load test
+// against a serving target, summarized as outcome counts and latency
+// percentiles. Scenarios are merged by name into one LoadFile, so a script
+// can run "unhedged" and "hedged" passes and land both in BENCH_PR6.json.
+type LoadScenario struct {
+	Name      string  `json:"-"`
+	Generated string  `json:"generated"`
+	Target    string  `json:"target"`
+	TargetRPS float64 `json:"target_rps"`
+	DurationS float64 `json:"duration_s"`
+
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Degraded int64 `json:"degraded"`
+	Shed     int64 `json:"shed"`
+	Errors   int64 `json:"errors"`
+
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// LoadEnv mirrors the bench harness's environment block.
+type LoadEnv struct {
+	Go         string `json:"go"`
+	CPU        int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Arch       string `json:"goarch"`
+}
+
+// LoadFile is the on-disk shape of BENCH_PR6.json.
+type LoadFile struct {
+	Generated string                  `json:"generated"`
+	Env       LoadEnv                 `json:"env"`
+	Scenarios map[string]LoadScenario `json:"scenarios"`
+}
+
+// Percentiles summarizes a latency sample in milliseconds. The slice is
+// sorted in place.
+func Percentiles(ms []float64) (p50, p90, p99, max float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return at(0.50), at(0.90), at(0.99), ms[len(ms)-1]
+}
+
+// MergeLoadScenario reads the LoadFile at path (tolerating a missing file),
+// upserts the scenario under its name, and writes the file back. Sequential
+// runs from one script accumulate into a single report.
+func MergeLoadScenario(path string, sc LoadScenario) error {
+	if sc.Name == "" {
+		return fmt.Errorf("benchsuite: load scenario needs a name")
+	}
+	out := LoadFile{Scenarios: map[string]LoadScenario{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("benchsuite: %s exists but is not a load report: %v", path, err)
+		}
+		if out.Scenarios == nil {
+			out.Scenarios = map[string]LoadScenario{}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	out.Generated = time.Now().UTC().Format(time.RFC3339)
+	out.Env = LoadEnv{
+		Go:         runtime.Version(),
+		CPU:        runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Arch:       runtime.GOARCH,
+	}
+	out.Scenarios[sc.Name] = sc
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -71,6 +71,13 @@ func writeMetricText(w io.Writer, m MetricSnapshot) error {
 			}
 		}
 		return nil
+	case m.Kind == KindGauge && m.Label != "":
+		for _, lg := range m.LabeledGauges {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", m.Name, m.Label, lg.Value, formatFloat(lg.Gauge)); err != nil {
+				return err
+			}
+		}
+		return nil
 	case m.Label != "":
 		for _, lv := range m.Labeled {
 			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", m.Name, m.Label, lv.Value, lv.Count); err != nil {

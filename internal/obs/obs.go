@@ -129,6 +129,36 @@ func (v *HistogramVec) With(value string) *Histogram {
 	return h
 }
 
+// GaugeVec is a gauge partitioned by the values of one label (e.g. replica
+// health keyed by replica id). Like CounterVec, label values are created on
+// first use and live for the registry's lifetime, so the cardinality must
+// stay small and bounded — replica ids and states, never user ids.
+type GaugeVec struct {
+	label string
+	mu    sync.RWMutex
+	by    map[string]*Gauge
+}
+
+// With returns the gauge for one label value, creating it on first use.
+// Creating a value eagerly (before any Set) is deliberate: it makes the
+// series visible on /metrics at zero, so dashboards see a new replica the
+// moment the router learns of it rather than at its first state change.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g := v.by[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.by[value]; g == nil {
+		g = &Gauge{}
+		v.by[value] = g
+	}
+	return g
+}
+
 // Gauge is an instantaneous float64 value (in-flight requests, last epoch
 // loss). Add uses a CAS loop so concurrent deltas never lose updates.
 type Gauge struct {
@@ -214,6 +244,12 @@ type LabeledValue struct {
 	Count int64  `json:"count"`
 }
 
+// LabeledGauge is one label value of a GaugeVec in a snapshot.
+type LabeledGauge struct {
+	Value string  `json:"value"`
+	Gauge float64 `json:"gauge"`
+}
+
 // LabeledHist is one label value of a HistogramVec in a snapshot.
 type LabeledHist struct {
 	Value string            `json:"value"`
@@ -224,21 +260,22 @@ type LabeledHist struct {
 // currency of the /metrics renderer, the golden tests and the benchmark
 // harness's JSON output.
 type MetricSnapshot struct {
-	Name         string             `json:"name"`
-	Help         string             `json:"help"`
-	Kind         Kind               `json:"kind"`
-	Value        float64            `json:"value,omitempty"`   // counter, gauge
-	Label        string             `json:"label,omitempty"`   // labeled counter or histogram
-	Labeled      []LabeledValue     `json:"labeled,omitempty"` // sorted by label value
-	Hist         *HistogramSnapshot `json:"histogram,omitempty"`
-	LabeledHists []LabeledHist      `json:"labeled_histograms,omitempty"` // sorted by label value
+	Name          string             `json:"name"`
+	Help          string             `json:"help"`
+	Kind          Kind               `json:"kind"`
+	Value         float64            `json:"value,omitempty"`          // counter, gauge
+	Label         string             `json:"label,omitempty"`          // labeled counter, gauge or histogram
+	Labeled       []LabeledValue     `json:"labeled,omitempty"`        // sorted by label value
+	LabeledGauges []LabeledGauge     `json:"labeled_gauges,omitempty"` // sorted by label value
+	Hist          *HistogramSnapshot `json:"histogram,omitempty"`
+	LabeledHists  []LabeledHist      `json:"labeled_histograms,omitempty"` // sorted by label value
 }
 
 // metric is one registered metric with its metadata.
 type metric struct {
 	name string
 	help string
-	impl any // *Counter | *CounterVec | *Gauge | *Histogram
+	impl any // *Counter | *CounterVec | *Gauge | *GaugeVec | *Histogram | *HistogramVec
 }
 
 // Registry owns a flat namespace of metrics. Registration is idempotent:
@@ -287,6 +324,13 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 // Gauge registers (or fetches) a float gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return register(r, name, help, func() *Gauge { return &Gauge{} })
+}
+
+// GaugeVec registers (or fetches) a gauge partitioned by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return register(r, name, help, func() *GaugeVec {
+		return &GaugeVec{label: label, by: map[string]*Gauge{}}
+	})
 }
 
 // Histogram registers (or fetches) a fixed-bucket histogram. bounds must be
@@ -358,6 +402,15 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			}
 			impl.mu.RUnlock()
 			sort.Slice(s.Labeled, func(i, j int) bool { return s.Labeled[i].Value < s.Labeled[j].Value })
+		case *GaugeVec:
+			s.Kind = KindGauge
+			s.Label = impl.label
+			impl.mu.RLock()
+			for v, g := range impl.by {
+				s.LabeledGauges = append(s.LabeledGauges, LabeledGauge{Value: v, Gauge: g.Value()})
+			}
+			impl.mu.RUnlock()
+			sort.Slice(s.LabeledGauges, func(i, j int) bool { return s.LabeledGauges[i].Value < s.LabeledGauges[j].Value })
 		case *Histogram:
 			s.Kind = KindHistogram
 			h := impl.Snapshot()

@@ -48,6 +48,45 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeVec covers the labeled-gauge family: per-value isolation,
+// idempotent With, eager series creation at zero, snapshot ordering and the
+// text exposition (float samples, unlike CounterVec's integers).
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("replica_up", "by replica", "replica")
+	if gv.With("a") != gv.With("a") {
+		t.Fatal("With not idempotent")
+	}
+	gv.With("b") // eager creation: must appear in the snapshot at zero
+	gv.With("a").Set(1)
+	gv.With("c").Set(0.5)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 || snaps[0].Kind != KindGauge || snaps[0].Label != "replica" {
+		t.Fatalf("snapshot %+v", snaps)
+	}
+	lg := snaps[0].LabeledGauges
+	if len(lg) != 3 || lg[0].Value != "a" || lg[1].Value != "b" || lg[2].Value != "c" {
+		t.Fatalf("labeled gauges %+v", lg)
+	}
+	if lg[0].Gauge != 1 || lg[1].Gauge != 0 || lg[2].Gauge != 0.5 {
+		t.Fatalf("labeled gauge values %+v", lg)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`replica_up{replica="a"} 1`,
+		`replica_up{replica="b"} 0`,
+		`replica_up{replica="c"} 0.5`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("h_seconds", "help", []float64{0.1, 1, 10})

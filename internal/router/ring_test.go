@@ -1,0 +1,110 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return ids
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := newRing(nil, 64); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := newRing([]string{"a", ""}, 64); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := newRing([]string{"a", "b", "a"}, 64); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+// TestRingSequence: the fallback sequence is deterministic, starts at the
+// owner, and enumerates every replica exactly once.
+func TestRingSequence(t *testing.T) {
+	r, err := newRing(ringIDs(5), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 1000; key += 37 {
+		seq := r.sequence(key)
+		if len(seq) != 5 {
+			t.Fatalf("key %d: sequence has %d entries, want 5", key, len(seq))
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("key %d: sequence starts at %d, owner is %d", key, seq[0], r.owner(key))
+		}
+		seen := map[int]bool{}
+		for _, i := range seq {
+			if seen[i] {
+				t.Fatalf("key %d: replica %d repeated in %v", key, i, seq)
+			}
+			seen[i] = true
+		}
+		again := r.sequence(key)
+		for i := range seq {
+			if seq[i] != again[i] {
+				t.Fatalf("key %d: sequence not deterministic: %v vs %v", key, seq, again)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes the keyspace split across 5 replicas is
+// roughly even — no replica owns less than half or more than double its
+// fair share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	const replicas, keys = 5, 20000
+	r, err := newRing(ringIDs(replicas), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, replicas)
+	// A multiplicative walk spreads keys across the hash space.
+	key := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(key)]++
+		key = key*0x9e3779b97f4a7c15 + 1
+	}
+	fair := keys / replicas
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("replica %d owns %d of %d keys (fair share %d): %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingConsistency: removing one replica only moves the keys it owned —
+// every other key keeps its owner. This is the property that makes ejection
+// cheap: the survivors' caches stay warm.
+func TestRingConsistency(t *testing.T) {
+	ids := ringIDs(5)
+	full, err := newRing(ids, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last replica; the survivors keep their indices.
+	reduced, err := newRing(ids[:4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	key := uint64(0x9e3779b97f4a7c15)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		was := full.owner(key)
+		if was != 4 && reduced.owner(key) != was {
+			moved++
+		}
+		key = key*0x9e3779b97f4a7c15 + 1
+	}
+	if moved != 0 {
+		t.Errorf("%d of %d keys owned by survivors changed owner on removal", moved, keys)
+	}
+}

@@ -237,6 +237,12 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 	var outs []scoreOutcome
 	if len(pass) > 0 {
 		outs = s.scoreJobs(pass)
+		// The post-scoring fault seam runs inside the timing window: injected
+		// response latency lands in the scoring histogram exactly as a truly
+		// slow forward pass would.
+		for i, j := range pass {
+			outs[i] = s.afterScore(j, outs[i])
+		}
 	}
 	elapsed := time.Since(sstart)
 	for i := 0; i < n; i++ {
@@ -273,6 +279,28 @@ func (s *Server) beforeScore(j *scoreJob) (out scoreOutcome) {
 		return scoreOutcome{err: err}
 	}
 	return scoreOutcome{}
+}
+
+// afterScore runs the post-scoring fault seam for one successfully scored
+// job, recovering injected panics so they degrade only that job's response.
+// Jobs that already failed pass through untouched.
+func (s *Server) afterScore(j *scoreJob, in scoreOutcome) (out scoreOutcome) {
+	out = in
+	as, ok := s.Faults.(AfterScoreInjector)
+	if !ok || in.err != nil {
+		return out
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.panics.Inc()
+			s.Log("serve: recovered post-scoring panic: %v", p)
+			out = scoreOutcome{err: fmt.Errorf("post-scoring panic: %v", p), panicked: true}
+		}
+	}()
+	if err := as.AfterScore(j.ctx, j.inst, out.scores); err != nil {
+		return scoreOutcome{err: err}
+	}
+	return out
 }
 
 // scoreJobs produces one outcome per job. A single job scores under its own

@@ -25,10 +25,50 @@ type FaultInjector interface {
 	BeforeScore(ctx context.Context, inst *rerank.Instance) error
 }
 
+// AfterScoreInjector is the optional post-scoring half of the chaos seam.
+// AfterScore runs on the scoring goroutine after the model produced scores,
+// still inside the panic-recovery envelope and the request deadline. A
+// non-nil error (or a panic) replaces the job's successful outcome and
+// degrades the response; an implementation that sleeps (honoring ctx)
+// simulates the slow-response failure mode — the model answered but the
+// reply is late, which is how an overloaded or GC-pausing replica actually
+// looks from a fleet router. Injectors that only implement FaultInjector
+// keep their exact previous behavior.
+type AfterScoreInjector interface {
+	AfterScore(ctx context.Context, inst *rerank.Instance, scores []float64) error
+}
+
 // FaultFunc adapts a plain function to the FaultInjector interface.
 type FaultFunc func(ctx context.Context, inst *rerank.Instance) error
 
 // BeforeScore implements FaultInjector.
 func (f FaultFunc) BeforeScore(ctx context.Context, inst *rerank.Instance) error {
 	return f(ctx, inst)
+}
+
+// AfterScoreFunc is the signature of the post-scoring fault hook.
+type AfterScoreFunc func(ctx context.Context, inst *rerank.Instance, scores []float64) error
+
+// FaultHooks bundles both halves of the chaos seam; either half may be nil.
+// It is the injector shape the chaos harness uses: Before for pre-score
+// errors and panics, After for latency injection on the response path.
+type FaultHooks struct {
+	Before FaultFunc
+	After  AfterScoreFunc
+}
+
+// BeforeScore implements FaultInjector; a nil Before is a no-op.
+func (h FaultHooks) BeforeScore(ctx context.Context, inst *rerank.Instance) error {
+	if h.Before == nil {
+		return nil
+	}
+	return h.Before(ctx, inst)
+}
+
+// AfterScore implements AfterScoreInjector; a nil After is a no-op.
+func (h FaultHooks) AfterScore(ctx context.Context, inst *rerank.Instance, scores []float64) error {
+	if h.After == nil {
+		return nil
+	}
+	return h.After(ctx, inst, scores)
 }

@@ -208,7 +208,9 @@ type serveMetrics struct {
 	responses   *obs.CounterVec // terminal status per request
 	responsesOK *obs.Counter    // cached responses.With("ok")
 	degraded    *obs.CounterVec // degradation reason
-	shed        *obs.Counter
+	shed        *obs.CounterVec // shed reason: backpressure vs draining
+	shedBack    *obs.Counter    // cached shed.With(ShedBackpressure)
+	shedDrain   *obs.Counter    // cached shed.With(ShedDraining)
 	panics      *obs.Counter
 	badInput    *obs.Counter
 	inflight    *obs.Gauge
@@ -229,8 +231,8 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 			"Finished re-rank requests by terminal status: ok, degraded, bad_input, too_large, shed, canceled.", "status"),
 		degraded: r.CounterVec("rapid_degraded_total",
 			"Degraded (initial-order fallback) responses by reason: deadline, error, panic.", "reason"),
-		shed: r.Counter("rapid_shed_total",
-			"Requests shed with 429 because no scoring slot freed within the queue wait."),
+		shed: r.CounterVec("rapid_shed_total",
+			"Requests shed by reason: backpressure (429, no scoring slot freed within the queue wait) or draining (503, the server is going away).", "reason"),
 		panics: r.Counter("rapid_panics_recovered_total",
 			"Panics recovered in the handler chain or the scoring goroutine."),
 		badInput: r.Counter("rapid_bad_input_total",
@@ -251,8 +253,44 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 			"Instances per dispatched scoring batch (single requests count as 1).",
 			[]float64{1, 2, 4, 8, 16, 32, 64}),
 	}
+	// Eager label creation: both shed series are visible on /metrics at zero,
+	// so a router's dashboards can tell "never shed" from "series missing".
+	m.shedBack = m.shed.With(ShedBackpressure)
+	m.shedDrain = m.shed.With(ShedDraining)
 	m.responsesOK = m.responses.With("ok")
 	return m
+}
+
+// Shed reasons, exported so a fleet router can match the X-Shed-Reason
+// header without restating the strings. A backpressure shed (429) means
+// "come back shortly — a slot will free"; a draining shed (503) means "this
+// replica is going away — re-route, do not retry here".
+const (
+	ShedBackpressure = "backpressure"
+	ShedDraining     = "draining"
+)
+
+// ShedReasonHeader carries the shed reason on 429/503 shed responses so a
+// router can distinguish backpressure from drain without parsing the body.
+const ShedReasonHeader = "X-Shed-Reason"
+
+// shedResponse answers a request the server cannot admit. Backpressure keeps
+// the 429 + Retry-After contract (the pressure-derived jittered hint);
+// draining answers 503 with Retry-After set to the drain window — the
+// process is restarting, and only a client with no alternative replica
+// should bother coming back at all.
+func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
+	s.met.responses.With("shed").Inc()
+	w.Header().Set(ShedReasonHeader, reason)
+	if reason == ShedDraining {
+		s.met.shedDrain.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(s.cfg.DrainTimeout/time.Second))))
+		http.Error(w, "draining, replica going away", http.StatusServiceUnavailable)
+		return
+	}
+	s.met.shedBack.Inc()
+	w.Header().Set("Retry-After", s.retryAfter())
+	http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
 }
 
 // Server serves a trained model behind the robustness envelope above.
@@ -311,7 +349,7 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Requests:  s.met.requests.Value(),
 		Degraded:  s.met.degraded.Total(),
-		Shed:      s.met.shed.Value(),
+		Shed:      s.met.shed.Total(),
 		Panics:    s.met.panics.Value(),
 		BadInput:  s.met.badInput.Value(),
 		Responses: s.met.responsesOK.Value(),
@@ -368,6 +406,15 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
 
+	// A draining server finishes what it admitted but takes nothing new:
+	// answering 503/draining immediately (instead of queueing and shedding
+	// with a generic 429) tells a fleet router to re-route now and stop
+	// retrying a replica that is going away.
+	if !s.ready.Load() {
+		s.shedResponse(w, ShedDraining)
+		return
+	}
+
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req RerankRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -407,10 +454,7 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		s.met.queueWait.ObserveDuration(time.Since(qstart))
 	case <-admit.C:
-		s.met.shed.Inc()
-		s.met.responses.With("shed").Inc()
-		w.Header().Set("Retry-After", s.retryAfter())
-		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+		s.shedResponse(w, s.shedReason())
 		return
 	case <-r.Context().Done():
 		s.met.responses.With("canceled").Inc()
@@ -483,6 +527,11 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batchRequests.Inc()
 	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
 
+	if !s.ready.Load() {
+		s.shedResponse(w, ShedDraining)
+		return
+	}
+
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var breq RerankBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
@@ -534,10 +583,7 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 		case s.sem <- struct{}{}:
 			s.met.queueWait.ObserveDuration(time.Since(qstart))
 		case <-admit.C:
-			s.met.shed.Inc()
-			s.met.responses.With("shed").Inc()
-			w.Header().Set("Retry-After", s.retryAfter())
-			http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+			s.shedResponse(w, s.shedReason())
 			return
 		case <-r.Context().Done():
 			s.met.responses.With("canceled").Inc()
@@ -645,6 +691,16 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// shedReason classifies a queue-wait shed: a drain that began while the
+// request waited for a slot is a draining shed (the slot will never free for
+// new work), anything else is ordinary backpressure.
+func (s *Server) shedReason() string {
+	if !s.ready.Load() {
+		return ShedDraining
+	}
+	return ShedBackpressure
+}
+
 // retryAfter derives the 429 backoff hint from current pressure instead of a
 // constant: an idle-but-bursty server suggests 1s, a saturated one up to 4s,
 // and ±1s of jitter spreads the retries of a shed wave so the clients do not
@@ -725,13 +781,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // handleReady is the readiness probe: 200 while the server accepts traffic,
 // 503 once drain has begun (so load balancers stop routing new requests) —
 // distinct from /healthz, which stays 200 for as long as the process lives.
+// Both answers carry a ReadyStatus body: the pinned model version feeds a
+// router's skew detector and the draining flag its health prober, without a
+// second endpoint or an extra probe.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	ready := s.ready.Load()
+	st := ReadyStatus{
+		Ready:        ready,
+		Draining:     !ready,
+		ModelVersion: s.provider.Active().Version,
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(st)
 }
 
 // NewHTTPServer builds the http.Server with the hardened timeouts. A server

@@ -333,6 +333,139 @@ func TestHealthAndReady(t *testing.T) {
 	}
 }
 
+// TestReadyzBody pins the /readyz JSON contract a fleet router probes: the
+// pinned model version and the draining flag ride the existing endpoint, and
+// the bare 200/503 status-code contract is unchanged.
+func TestReadyzBody(t *testing.T) {
+	pin := Pinned{Scorer: stubScorer{}, Manifest: Manifest{Dataset: "test", Config: testConfig()}, Version: "v42"}
+	s := NewProviderServer(staticProvider{pin: pin}, Config{})
+	s.Log = t.Logf
+	h := s.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz status %d", w.Code)
+	}
+	var st ReadyStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || st.Draining || st.ModelVersion != "v42" {
+		t.Fatalf("ready body %+v", st)
+	}
+
+	s.ready.Store(false)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || !st.Draining || st.ModelVersion != "v42" {
+		t.Fatalf("draining body %+v", st)
+	}
+}
+
+// TestDrainingShedDistinguishable: a draining replica answers new scoring
+// requests with 503 + X-Shed-Reason: draining (never a generic 429), so a
+// router stops retrying a replica that is going away; backpressure sheds
+// keep 429 and carry X-Shed-Reason: backpressure. The two land in separate
+// rapid_shed_total series.
+func TestDrainingShedDistinguishable(t *testing.T) {
+	s := stubServer(t, Config{})
+	h := s.Handler()
+	body, _ := json.Marshal(validRequest())
+
+	s.ready.Store(false)
+	w := postRerank(t, h, body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining rerank status %d, want 503 (%s)", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(ShedReasonHeader); got != ShedDraining {
+		t.Fatalf("%s = %q, want %q", ShedReasonHeader, got, ShedDraining)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("draining shed without Retry-After")
+	}
+	// The batch envelope route sheds identically.
+	bb, _ := json.Marshal(RerankBatchRequest{Requests: []RerankRequest{*validRequest()}})
+	req := httptest.NewRequest(http.MethodPost, "/v1/rerank:batch", bytes.NewReader(bb))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get(ShedReasonHeader) != ShedDraining {
+		t.Fatalf("draining batch status %d reason %q", w.Code, w.Header().Get(ShedReasonHeader))
+	}
+	if got := s.met.shedDrain.Value(); got != 2 {
+		t.Fatalf("draining shed counter = %d, want 2", got)
+	}
+	if got := s.met.shedBack.Value(); got != 0 {
+		t.Fatalf("backpressure shed counter = %d, want 0", got)
+	}
+	if st := s.Stats(); st.Shed != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestAfterScoreHook exercises the post-scoring half of the chaos seam:
+// errors, injected response latency past the budget, and panics must each
+// degrade the response (never 5xx), and a FaultHooks with only a Before half
+// must behave exactly like the legacy FaultFunc.
+func TestAfterScoreHook(t *testing.T) {
+	body, _ := json.Marshal(validRequest())
+
+	t.Run("error degrades", func(t *testing.T) {
+		s := stubServer(t, Config{})
+		s.Faults = FaultHooks{After: func(context.Context, *rerank.Instance, []float64) error {
+			return errors.New("response path wedged")
+		}}
+		wantDegraded(t, postRerank(t, s.Handler(), body), "error")
+	})
+	t.Run("latency degrades on deadline", func(t *testing.T) {
+		s := stubServer(t, Config{Budget: 10 * time.Millisecond})
+		s.Faults = FaultHooks{After: func(ctx context.Context, _ *rerank.Instance, _ []float64) error {
+			<-ctx.Done() // slow response that outlives the budget
+			return ctx.Err()
+		}}
+		wantDegraded(t, postRerank(t, s.Handler(), body), "deadline")
+	})
+	t.Run("panic degrades", func(t *testing.T) {
+		s := stubServer(t, Config{})
+		s.Log = func(string, ...any) {}
+		s.Faults = FaultHooks{After: func(context.Context, *rerank.Instance, []float64) error {
+			panic("post-scoring bug")
+		}}
+		wantDegraded(t, postRerank(t, s.Handler(), body), "panic")
+		if st := s.Stats(); st.Panics != 1 {
+			t.Fatalf("stats %+v", st)
+		}
+	})
+	t.Run("before-only hooks stay compatible", func(t *testing.T) {
+		s := stubServer(t, Config{})
+		s.Faults = FaultHooks{Before: func(context.Context, *rerank.Instance) error {
+			return errors.New("feature store down")
+		}}
+		wantDegraded(t, postRerank(t, s.Handler(), body), "error")
+	})
+	t.Run("nil hooks pass through", func(t *testing.T) {
+		s := stubServer(t, Config{})
+		s.Faults = FaultHooks{}
+		w := postRerank(t, s.Handler(), body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		var resp RerankResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degraded {
+			t.Fatalf("empty hooks degraded the response: %+v", resp)
+		}
+	})
+}
+
 func TestManifestPath(t *testing.T) {
 	if got := ManifestPath("model.gob"); got != "model.json" {
 		t.Fatalf("ManifestPath = %s", got)

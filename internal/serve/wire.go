@@ -52,6 +52,20 @@ type RerankResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ReadyStatus is the JSON body of GET /readyz. The bare status-code
+// contract is unchanged — 200 while accepting traffic, 503 once drain has
+// begun — so probes that only check the code keep working; the body carries
+// what a fleet router additionally needs from one probe: the pinned model
+// version (its skew detector flags mixed-version windows during rollouts)
+// and the draining flag (eject without penalizing the replica's breaker).
+type ReadyStatus struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+	// ModelVersion is the active registry version label; empty (and omitted)
+	// in the single-model deployment shape.
+	ModelVersion string `json:"model_version,omitempty"`
+}
+
 // RerankBatchRequest is the wire format of POST /v1/rerank:batch: up to
 // MaxBatchRequests independent re-rank requests scored as one envelope.
 type RerankBatchRequest struct {
