@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke bench bench-json bench-batch bench-batch-smoke
+.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke
 
 check: vet fmt test
 
@@ -73,3 +73,16 @@ bench-batch:
 # against the committed baseline.
 bench-batch-smoke:
 	$(GO) run ./cmd/rapidbench -batchjson BENCH_PR5.json -smoke -check
+
+# Parallel-GEMM and user-state-cache perf snapshot: serial vs parallel
+# MatMulInto at 32/128/256/384 plus cold vs warm batch-16 state scoring,
+# written next to the committed pre-change baseline. The speedup gates are
+# machine-aware: parallel wins are only required when GOMAXPROCS > 1.
+bench-pr7:
+	$(GO) run ./cmd/rapidbench -pr7json BENCH_PR7.json
+
+# CI gate: the GEMM32/GEMM256 and cold/warm entries only, failing on a
+# below-cutoff dispatch tax, serial-kernel drift, a missing parallel win on
+# multi-core machines, or a warm path that does not beat cold.
+bench-pr7-smoke:
+	$(GO) run ./cmd/rapidbench -pr7json BENCH_PR7.json -smoke -check

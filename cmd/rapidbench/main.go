@@ -27,8 +27,9 @@ func main() {
 		svg    = flag.String("svg", "", "write the regret figure to this SVG path (regret experiment only)")
 		benchJ = flag.String("benchjson", "", "run the shared benchmark suite and write machine-readable results (BENCH_PR2.json) to this path, then exit")
 		batchJ = flag.String("batchjson", "", "run the batched-inference comparison and write machine-readable results (BENCH_PR5.json) to this path, then exit")
-		smoke  = flag.Bool("smoke", false, "with -batchjson: run only the single-request and batch-16 benchmarks the CI gates read")
-		check  = flag.Bool("check", false, "with -batchjson: exit non-zero on >10%% single-request regression or <2x batch-16 throughput")
+		pr7J   = flag.String("pr7json", "", "run the parallel-GEMM sweep and cold/warm state-cache comparison and write machine-readable results (BENCH_PR7.json) to this path, then exit")
+		smoke  = flag.Bool("smoke", false, "with -batchjson/-pr7json: run only the benchmarks the CI gates read")
+		check  = flag.Bool("check", false, "with -batchjson/-pr7json: exit non-zero when a perf gate fails")
 	)
 	flag.Parse()
 
@@ -41,6 +42,13 @@ func main() {
 	}
 	if *batchJ != "" {
 		if err := runBatchJSON(*batchJ, *smoke, *check); err != nil {
+			fmt.Fprintf(os.Stderr, "rapidbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pr7J != "" {
+		if err := runPR7JSON(*pr7J, *smoke, *check); err != nil {
 			fmt.Fprintf(os.Stderr, "rapidbench: %v\n", err)
 			os.Exit(1)
 		}

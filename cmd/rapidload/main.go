@@ -46,6 +46,7 @@ func main() {
 		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf exponent of user popularity (>1; larger = more skew)")
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		seed     = flag.Int64("seed", 1, "user-population and arrival seed")
+		repeat   = flag.Float64("repeat-user-pct", 0, "percent of requests that re-issue a previously seen user's exact body (exercises the server's user-state cache)")
 
 		benchJSON = flag.String("benchjson", "", "merge results into this load report (e.g. BENCH_PR6.json)")
 		scenario  = flag.String("scenario", "default", "scenario name for -benchjson")
@@ -56,7 +57,7 @@ func main() {
 		target: *target, manifest: *manifest,
 		userDim: *userDim, itemDim: *itemDim, topics: *topics, listLen: *listLen,
 		rps: *rps, duration: *duration, users: *users, zipfS: *zipfS,
-		timeout: *timeout, seed: *seed,
+		timeout: *timeout, seed: *seed, repeatUserPct: *repeat,
 		benchJSON: *benchJSON, scenario: *scenario, maxErrRate: *maxErrRat,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidload: %v\n", err)
@@ -73,6 +74,7 @@ type loadConfig struct {
 	zipfS                             float64
 	timeout                           time.Duration
 	seed                              int64
+	repeatUserPct                     float64
 	benchJSON, scenario               string
 	maxErrRate                        float64
 }
@@ -108,6 +110,9 @@ func run(cfg loadConfig) error {
 	if cfg.zipfS <= 1 {
 		return fmt.Errorf("zipf-s must be > 1")
 	}
+	if cfg.repeatUserPct < 0 || cfg.repeatUserPct > 100 {
+		return fmt.Errorf("repeat-user-pct must be in [0,100]")
+	}
 
 	bodies := newBodyCache(cfg)
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -122,8 +127,9 @@ func run(cfg loadConfig) error {
 	deadline := time.NewTimer(cfg.duration)
 	defer deadline.Stop()
 
-	fmt.Fprintf(os.Stderr, "rapidload: %s at %.0f rps for %v (%d users, zipf %.2f)\n",
-		cfg.target, cfg.rps, cfg.duration, cfg.users, cfg.zipfS)
+	fmt.Fprintf(os.Stderr, "rapidload: %s at %.0f rps for %v (%d users, zipf %.2f, repeat %.0f%%)\n",
+		cfg.target, cfg.rps, cfg.duration, cfg.users, cfg.zipfS, cfg.repeatUserPct)
+	var issued []int
 	start := time.Now()
 loop:
 	for {
@@ -131,7 +137,18 @@ loop:
 		case <-deadline.C:
 			break loop
 		case <-ticker.C:
-			user := int(zipf.Uint64())
+			// -repeat-user-pct re-issues an already-seen user's byte-identical
+			// body (bodyCache is deterministic per user), modelling the
+			// returning-user traffic the server's encoded-state cache serves.
+			// The repeat pool is the issued history, so popular users repeat
+			// proportionally more — Zipf skew carries into the repeats.
+			var user int
+			if len(issued) > 0 && rng.Float64()*100 < cfg.repeatUserPct {
+				user = issued[rng.Intn(len(issued))]
+			} else {
+				user = int(zipf.Uint64())
+			}
+			issued = append(issued, user)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()

@@ -64,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/mat"
 	"repro/internal/registry"
 	"repro/internal/rerank"
 	"repro/internal/serve"
@@ -86,6 +87,8 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 0, "max instances per coalesced scoring batch (0 = default 16; 1 disables batching)")
 		batchWait    = flag.Duration("batch-wait", 0, "how long a request gathers batch-mates before scoring (0 = default 2ms)")
 		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
+		matWorkers   = flag.Int("mat-workers", 1, "goroutines per large GEMM in the matrix kernels (1 = serial; 0 = GOMAXPROCS)")
+		stateCacheMB = flag.Int64("state-cache-mb", 64, "memory budget in MiB for the encoded user-state cache (repeat-user fast path; 0 disables)")
 
 		chaosLatency = flag.Duration("chaos-latency", 0, "CHAOS TESTING: extra latency injected into the scoring path (0 = off); slows responses while -budget allows, degrades them past it")
 		chaosLatRate = flag.Float64("chaos-latency-rate", 1, "CHAOS TESTING: fraction of requests receiving -chaos-latency")
@@ -95,14 +98,16 @@ func main() {
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	mat.SetWorkers(*matWorkers)
 	cfg := serve.Config{
-		Budget:       *budget,
-		MaxInFlight:  *inflight,
-		QueueWait:    *queueWait,
-		MaxBodyBytes: *maxBody,
-		DrainTimeout: *drain,
-		Pprof:        *pprofOn,
-		AdminToken:   *adminToken,
+		StateCacheBytes: *stateCacheMB << 20,
+		Budget:          *budget,
+		MaxInFlight:     *inflight,
+		QueueWait:       *queueWait,
+		MaxBodyBytes:    *maxBody,
+		DrainTimeout:    *drain,
+		Pprof:           *pprofOn,
+		AdminToken:      *adminToken,
 		Batch: serve.BatchConfig{
 			MaxBatch: *maxBatch,
 			MaxWait:  *batchWait,
@@ -201,6 +206,10 @@ func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canar
 	cfg.Admin = reg
 	srv := serve.NewProviderServer(reg, cfg)
 	srv.Faults = faults
+	// Every lifecycle transition flushes the encoded user-state cache: a
+	// promoted or rolled-back model must never serve a state encoded by its
+	// predecessor (see DESIGN.md on cache invalidation).
+	reg.SetOnSwap(srv.FlushStateCache)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)

@@ -77,6 +77,92 @@ func BatchEntries() []Entry {
 	}
 }
 
+// PR7Entries returns the comparison emitted into BENCH_PR7.json: a GEMM
+// size sweep, serial vs panel-parallel (sizes straddling the parallel
+// dispatch cutoff, so the report shows both the large-shape speedup and the
+// absence of a small-shape regression), followed by the cold vs warm
+// encoded-user-state scoring pair.
+func PR7Entries() []Entry {
+	es := []Entry{}
+	for _, n := range []int{32, 128, 256, 384} {
+		n := n
+		es = append(es,
+			Entry{Name: fmt.Sprintf("GEMM%dSerial", n), F: gemmBench(n, 1)},
+			Entry{Name: fmt.Sprintf("GEMM%dParallel", n), F: gemmBench(n, 0)},
+		)
+	}
+	return append(es,
+		Entry{Name: "StateScoreCold", F: StateScoreCold, InstancesPerOp: stateBenchInstances},
+		Entry{Name: "StateScoreWarm", F: StateScoreWarm, InstancesPerOp: stateBenchInstances},
+	)
+}
+
+// gemmBench benches one n×n·n×n MatMulInto under the given worker setting
+// (1 = serial kernel, 0 = GOMAXPROCS panels), restoring the knob after.
+// 32³ sits below the parallel cutoff, so its "parallel" run measures the
+// dispatch check alone — the no-regression guard for small recurrence GEMMs.
+func gemmBench(n, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := mat.RandNormal(n, n, 0, 1, rng)
+		y := mat.RandNormal(n, n, 0, 1, rng)
+		out := mat.New(n, n)
+		prev := mat.Workers()
+		mat.SetWorkers(workers)
+		defer mat.SetWorkers(prev)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mat.MatMulInto(out, x, y)
+		}
+	}
+}
+
+// stateBenchInstances is the batch size of the cold/warm state comparison —
+// the serving layer's default MaxBatch 16 is the shape repeat-user traffic
+// actually coalesces into.
+const stateBenchInstances = 16
+
+// StateScoreCold measures ScoreBatchStates with no cached states: every
+// instance pays the full user-preference pass (the first request of each
+// user). Identical arithmetic to RAPIDInferenceBatch16.
+func StateScoreCold(b *testing.B) { stateScore(b, false) }
+
+// StateScoreWarm measures ScoreBatchStates with every user state cached —
+// the repeat-user steady state the serving cache produces. The gap to
+// StateScoreCold is exactly the preference pass the cache elides.
+func StateScoreWarm(b *testing.B) { stateScore(b, true) }
+
+func stateScore(b *testing.B, warm bool) {
+	cfg := dataset.TaobaoLike(1).Scaled(0.05)
+	d := dataset.MustGenerate(cfg)
+	opt := tableOptions(1)
+	rng := rand.New(rand.NewSource(4))
+	insts := make([]*rerank.Instance, stateBenchInstances)
+	for i := range insts {
+		pool := d.RerankPools[i%len(d.RerankPools)]
+		items := pool.Candidates[:cfg.ListLen]
+		req := dataset.Request{User: pool.User, Items: items, InitScores: make([]float64, len(items))}
+		insts[i] = rerank.NewInstance(d, req, rng)
+	}
+	env := &experiments.Env{Data: d}
+	m := experiments.NewRAPID(env, opt, 1, nil)
+	ctx := context.Background()
+	var states []*core.UserState
+	if warm {
+		var err error
+		if _, states, err = m.ScoreBatchStates(ctx, insts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.ScoreBatchStates(ctx, insts, states); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*stateBenchInstances)/b.Elapsed().Seconds(), "instances/s")
+}
+
 // MatMul32 measures the dense 32×32 matrix multiply kernel.
 func MatMul32(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
@@ -202,7 +288,10 @@ func rapidInferenceBatch(b *testing.B, k int) {
 func DPPGreedyMAP(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	base := mat.RandNormal(20, 8, 0, 1, rng)
-	kernel := base.MatMul(base.T())
+	// base·baseᵀ through the fused kernel: no transposed copy, no extra
+	// allocation (same Gram-matrix arithmetic the old MatMul(T()) produced).
+	kernel := mat.New(base.Rows, base.Rows)
+	mat.AddMatMulABT(kernel, base, base)
 	for i := 0; i < 20; i++ {
 		kernel.Set(i, i, kernel.At(i, i)+0.5)
 	}

@@ -34,11 +34,28 @@ func (m *Model) Score(ctx context.Context, inst *rerank.Instance) ([]float64, er
 // (topic sequences) so state rows always line up. The context is checked
 // between recurrence steps, so cancellation actually stops the work.
 func (m *Model) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error) {
+	out, _, err := m.ScoreBatchStates(ctx, insts, nil)
+	return out, err
+}
+
+// ScoreBatchStates is ScoreBatch with the user-preference prefix factored
+// out: states[b], when non-nil and produced by this model, replaces instance
+// b's entire preference pass (per-topic LSTMs, self-attention, preference
+// MLP) — the repeat-user fast path. Instances whose state is nil (or whose
+// states slice is nil/short) are encoded inline, batched together exactly
+// as ScoreBatch would.
+//
+// The second return value holds the state actually used per instance —
+// supplied states passed through, freshly encoded ones for the misses — so
+// a serving-layer cache can install new entries from the scoring pass it
+// already paid for. Scores are bitwise identical with and without supplied
+// states: θ̂'s arithmetic is row-private per instance (see EncodeUserState).
+func (m *Model) ScoreBatchStates(ctx context.Context, insts []*rerank.Instance, states []*UserState) ([][]float64, []*UserState, error) {
 	if len(insts) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t := m.tape()
 	defer m.releaseTape(t)
@@ -58,28 +75,50 @@ func (m *Model) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]f
 	z := mat.New(offs[len(insts)], headIn)
 
 	if err := m.batchRelevance(ctx, t, insts, z, offs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var used []*UserState
 	if m.Cfg.UseDiversity {
-		theta, err := m.batchPreference(ctx, t, insts)
-		if err != nil {
-			return nil, err
+		// Split the batch into state hits and misses; only the misses run
+		// the preference pass, packed together like a plain ScoreBatch of
+		// just those instances (per-instance θ̂ is batch-composition
+		// independent, so the split is invisible in the output).
+		used = make([]*UserState, len(insts))
+		var missIdx []int
+		var missInsts []*rerank.Instance
+		for b := range insts {
+			if b < len(states) && states[b].validFor(m) {
+				used[b] = states[b]
+				continue
+			}
+			missIdx = append(missIdx, b)
+			missInsts = append(missInsts, insts[b])
+		}
+		if len(missInsts) > 0 {
+			theta, err := m.batchPreference(ctx, t, missInsts)
+			if err != nil {
+				return nil, nil, err
+			}
+			for k, b := range missIdx {
+				used[b] = &UserState{theta: theta[k]}
+			}
 		}
 		// Δ_R in plain floats, preserving the legacy Mul-then-Scale order:
 		// s·(θ̂_j · d_ij), never (s·θ̂_j)·d_ij.
 		s := float64(m.Cfg.Topics) / 2
 		for b, inst := range insts {
+			theta := used[b].theta
 			d := m.divFn.Marginal(inst.Cover, inst.M)
 			for i := 0; i < inst.L(); i++ {
 				row := z.Row(offs[b] + i)[relDim:]
 				for j := 0; j < m.Cfg.Topics; j++ {
-					row[j] = s * (theta[b][j] * d[i][j])
+					row[j] = s * (theta[j] * d[i][j])
 				}
 			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// One stacked head pass over all ΣL rows (UCB inference, Eq. 10).
@@ -99,7 +138,7 @@ func (m *Model) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]f
 		}
 		out[b] = scores
 	}
-	return out, nil
+	return out, used, nil
 }
 
 // tape borrows a reusable tape from the model's pool; releaseTape resets it

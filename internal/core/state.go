@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/rerank"
+)
+
+// UserState is the encoded, immutable result of the model's user-preference
+// prefix: the personalized topic-preference distribution θ̂ (Eqs. 2–3),
+// produced by the per-topic behavior LSTMs, the inter-topic self-attention
+// and the preference MLP. θ̂ depends only on the user's features and behavior
+// sequences — not on the candidate list — so it is the request-invariant
+// prefix of scoring: for a returning user whose history has not changed,
+// a cached UserState replaces the entire diversity-estimator forward pass.
+//
+// (The listwise relevance encoder, by contrast, runs over the candidate
+// list itself and is different for every request; it is re-run on both the
+// cold and the warm path.)
+//
+// A UserState is immutable after construction and safe to share across
+// goroutines, batches and caches; holders must never mutate Theta. It is
+// only valid for the exact model that produced it — the serving layer keys
+// cached states by model version and flushes on every lifecycle transition
+// (see internal/serve and DESIGN.md).
+type UserState struct {
+	theta []float64 // θ̂, length Cfg.Topics; nil for a diversity-free model
+}
+
+// NewUserState wraps a θ̂ vector as a state, taking ownership of the slice.
+// It exists for tests and tooling that need synthetic states; production
+// states come from EncodeUserState or ScoreBatchStates, whose floats are the
+// model's own — a hand-built state only "fits" a model whose Topics matches
+// the slice length.
+func NewUserState(theta []float64) *UserState { return &UserState{theta: theta} }
+
+// Theta exposes the encoded preference distribution. The returned slice is
+// the state's backing storage: callers must treat it as read-only.
+func (s *UserState) Theta() []float64 { return s.theta }
+
+// Topics reports the preference dimensionality (0 for a diversity-free
+// model's empty state).
+func (s *UserState) Topics() int { return len(s.theta) }
+
+// SizeBytes estimates the state's resident size for cache budget accounting:
+// the float64 payload plus the struct, slice header and cache bookkeeping
+// overhead of one entry.
+func (s *UserState) SizeBytes() int { return 8*len(s.theta) + 96 }
+
+// validFor reports whether the state can stand in for m's preference pass.
+func (s *UserState) validFor(m *Model) bool {
+	return s != nil && len(s.theta) == m.Cfg.Topics
+}
+
+// EncodeUserState runs only the user-preference prefix for one instance and
+// returns its immutable encoded state. For a diversity-free model (the
+// RAPID-RNN ablation) the state is empty: there is no user-dependent prefix
+// to cache, and ScoreBatchStates ignores the states it is given.
+//
+// The returned state is bitwise identical to the θ̂ an uncached
+// Score/ScoreBatch call would compute internally: every arithmetic step of
+// the preference pass is row-private per instance, so encoding alone, in a
+// batch, or inline during scoring yields the same floats (pinned by
+// TestUserStateCachedScoresBitwise).
+func (m *Model) EncodeUserState(ctx context.Context, inst *rerank.Instance) (*UserState, error) {
+	if !m.Cfg.UseDiversity {
+		return &UserState{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t := m.tape()
+	defer m.releaseTape(t)
+	theta, err := m.batchPreference(ctx, t, []*rerank.Instance{inst})
+	if err != nil {
+		return nil, err
+	}
+	return &UserState{theta: theta[0]}, nil
+}

@@ -177,6 +177,14 @@ func (m *Matrix) AddScaledInPlace(s float64, n *Matrix) *Matrix {
 }
 
 // MatMul returns the matrix product m·n. It panics unless m.Cols == n.Rows.
+//
+// MatMul allocates its result and is therefore a cold-path convenience:
+// hot paths must use MatMulInto with a caller-owned (typically pooled)
+// output, which is how every tape op and batch-scoring kernel in this
+// repository is routed. The same applies to the other allocating helpers
+// (Add, Sub, Scale, T, Apply): the nn tape performs these element-wise ops
+// through its own pooled buffers, so no remaining hot path allocates
+// through them — see the allocation audit notes in DESIGN.md.
 func (m *Matrix) MatMul(n *Matrix) *Matrix {
 	out := New(m.Rows, n.Cols)
 	MatMulInto(out, m, n)
@@ -191,6 +199,11 @@ func (m *Matrix) MatMul(n *Matrix) *Matrix {
 // activations, gradients), so there is deliberately no zero-skip branch in
 // the inner loop: on dense inputs the branch misprediction costs more than
 // the skipped arithmetic saves.
+//
+// Above the size cutoff and with SetWorkers above one, the output is
+// partitioned into row panels (column panels for short, wide shapes) computed
+// on the package worker pool; each element's accumulation order is unchanged,
+// so the result is bitwise identical to the serial kernel (see parallel.go).
 func MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MatMul inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -198,27 +211,43 @@ func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MatMulInto output %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
+	if nw := Workers(); nw > 1 && a.Rows*a.Cols*b.Cols >= parCutoff {
+		if a.Rows >= b.Cols {
+			if parFor(a.Rows, nw, func(lo, hi int) { matMulPanel(out, a, b, lo, hi, 0, b.Cols) }) {
+				return
+			}
+		} else if parFor(b.Cols, nw, func(lo, hi int) { matMulPanel(out, a, b, 0, a.Rows, lo, hi) }) {
+			return
+		}
+	}
+	matMulPanel(out, a, b, 0, a.Rows, 0, b.Cols)
+}
+
+// matMulPanel computes the [i0,i1)×[j0,j1) panel of out = a·b with the
+// register-blocked ikj kernel. Panels write disjoint regions of out, and
+// each element's k-order accumulation is identical for every panel split.
+func matMulPanel(out, a, b *Matrix, i0, i1, j0, j1 int) {
 	ac, bc := a.Cols, b.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := i0; i < i1; i++ {
 		arow := a.Data[i*ac : (i+1)*ac]
-		orow := out.Data[i*bc : (i+1)*bc]
+		orow := out.Data[i*bc+j0 : i*bc+j1]
 		for j := range orow {
 			orow[j] = 0
 		}
 		k := 0
 		for ; k+4 <= ac; k += 4 {
 			a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-			b0 := b.Data[k*bc : k*bc+bc]
-			b1 := b.Data[(k+1)*bc : (k+1)*bc+bc]
-			b2 := b.Data[(k+2)*bc : (k+2)*bc+bc]
-			b3 := b.Data[(k+3)*bc : (k+3)*bc+bc]
+			b0 := b.Data[k*bc+j0 : k*bc+j1]
+			b1 := b.Data[(k+1)*bc+j0 : (k+1)*bc+j1]
+			b2 := b.Data[(k+2)*bc+j0 : (k+2)*bc+j1]
+			b3 := b.Data[(k+3)*bc+j0 : (k+3)*bc+j1]
 			for j, o := range orow {
 				orow[j] = o + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 			}
 		}
 		for ; k < ac; k++ {
 			av := arow[k]
-			brow := b.Data[k*bc : k*bc+bc]
+			brow := b.Data[k*bc+j0 : k*bc+j1]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
@@ -234,12 +263,28 @@ func AddMatMulABT(out, a, b *Matrix) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: AddMatMulABT shapes %dx%d += %dx%d · (%dx%d)ᵀ", out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if nw := Workers(); nw > 1 && a.Rows*b.Rows*a.Cols >= parCutoff {
+		if a.Rows >= b.Rows {
+			if parFor(a.Rows, nw, func(lo, hi int) { addMatMulABTPanel(out, a, b, lo, hi, 0, b.Rows) }) {
+				return
+			}
+		} else if parFor(b.Rows, nw, func(lo, hi int) { addMatMulABTPanel(out, a, b, 0, a.Rows, lo, hi) }) {
+			return
+		}
+	}
+	addMatMulABTPanel(out, a, b, 0, a.Rows, 0, b.Rows)
+}
+
+// addMatMulABTPanel accumulates the [i0,i1)×[k0,k1) panel of out += a·bᵀ.
+// Each out element is one private dot product, so any panel split leaves
+// the arithmetic bitwise identical to the serial kernel.
+func addMatMulABTPanel(out, a, b *Matrix, i0, i1, k0, k1 int) {
 	c := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	for i := i0; i < i1; i++ {
 		arow := a.Data[i*c : (i+1)*c]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		orow := out.Data[i*out.Cols+k0 : i*out.Cols+k1]
 		for kk := range orow {
-			brow := b.Data[kk*c : kk*c+c]
+			brow := b.Data[(k0+kk)*c : (k0+kk)*c+c]
 			var s0, s1 float64
 			j := 0
 			for ; j+2 <= c; j += 2 {
@@ -262,12 +307,24 @@ func AddMatMulATB(out, a, b *Matrix) {
 	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: AddMatMulATB shapes %dx%d += (%dx%d)ᵀ · %dx%d", out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if nw := Workers(); nw > 1 && a.Rows*a.Cols*b.Cols >= parCutoff {
+		if parFor(a.Cols, nw, func(lo, hi int) { addMatMulATBPanel(out, a, b, lo, hi) }) {
+			return
+		}
+	}
+	addMatMulATBPanel(out, a, b, 0, a.Cols)
+}
+
+// addMatMulATBPanel accumulates out rows [k0,k1) of out += aᵀ·b: each worker
+// scans every row i of a and b but touches only its own band of out, keeping
+// i ascending per element — the same accumulation order as the serial kernel.
+func addMatMulATBPanel(out, a, b *Matrix, k0, k1 int) {
 	bc := b.Cols
 	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		arow := a.Data[i*a.Cols+k0 : i*a.Cols+k1]
 		brow := b.Data[i*bc : i*bc+bc]
 		for kk, av := range arow {
-			orow := out.Data[kk*bc : kk*bc+bc]
+			orow := out.Data[(k0+kk)*bc : (k0+kk)*bc+bc]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}

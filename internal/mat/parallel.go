@@ -1,0 +1,139 @@
+// Goroutine-parallel panel partitioning for the GEMM kernels.
+//
+// The three hot kernels (MatMulInto, AddMatMulABT, AddMatMulATB) compute
+// every output element with a private accumulation chain: no element's value
+// depends on any other output element, and the floating-point order of each
+// chain is fixed by the kernel's loop structure alone. Partitioning the
+// output into contiguous panels and computing panels on different goroutines
+// therefore changes nothing about the arithmetic — the parallel result is
+// bitwise identical to the serial one for any worker count, which is what
+// lets the parity tests compare with == instead of a tolerance.
+//
+// Dispatch policy: a kernel call is parallelized only when (a) the package
+// worker knob is above one, (b) the call is at least parCutoff multiply-adds
+// — below that the LSTM-step GEMMs that dominate training would pay more in
+// scheduling than they save in arithmetic — and (c) the partitioned axis is
+// wide enough to give every worker at least minPanel rows/columns. Panels
+// run on a small persistent worker pool (started once, sized to GOMAXPROCS)
+// so steady-state parallel GEMMs reuse pooled workers instead of spawning
+// goroutines; when the pool's queue is momentarily full the submitting call
+// spawns a fallback goroutine rather than blocking behind unrelated work.
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// gemmWorkers is the package-level worker knob; 0 or 1 means serial.
+var gemmWorkers atomic.Int32
+
+// parCutoff is the minimum multiply-add count for parallel dispatch. The
+// value keeps every per-step recurrence GEMM in training and single-request
+// serving (≲ 64×64×16 ≈ 64K madds) on the serial fast path while the large
+// stacked-head and benchmark shapes (≥ 128³ ≈ 2M madds) parallelize. It is
+// a var so the parity tests can force the parallel path on tiny shapes.
+var parCutoff = 96 * 1024
+
+// minPanel is the smallest panel (output rows or columns) worth handing to
+// a worker; narrower panels only add synchronization.
+var minPanel = 8
+
+// SetWorkers sets the number of goroutines GEMM calls above the size cutoff
+// may use. n <= 0 selects GOMAXPROCS. 1 (the package default) keeps every
+// call serial: library users opt in, because parallel GEMM competes for
+// cores with request- and trainer-level parallelism and only the binary
+// knows which layer should own them. Safe to call at any time, including
+// concurrently with running kernels (in-flight calls finish under the
+// worker count they started with).
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	const maxWorkers = 256
+	if n > maxWorkers {
+		n = maxWorkers
+	}
+	gemmWorkers.Store(int32(n))
+	if n > 1 {
+		startPanelPool()
+	}
+}
+
+// Workers reports the current GEMM worker count (≥ 1).
+func Workers() int {
+	if w := gemmWorkers.Load(); w > 1 {
+		return int(w)
+	}
+	return 1
+}
+
+// panelTask is one output panel handed to the worker pool.
+type panelTask struct {
+	run    func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	panelPoolOnce sync.Once
+	panelCh       chan panelTask
+)
+
+// startPanelPool lazily starts the persistent panel workers. The pool is
+// sized to GOMAXPROCS regardless of the knob: the knob bounds how many
+// panels one call fans out, the pool bounds total GEMM parallelism in the
+// process.
+func startPanelPool() {
+	panelPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		panelCh = make(chan panelTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range panelCh {
+					t.run(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// parFor splits [0, n) into at most nw contiguous panels of at least
+// minPanel each and runs them concurrently, executing the first panel on
+// the calling goroutine. It reports false — having run nothing — when the
+// split would leave fewer than two panels; the caller then runs serial.
+// run must only write state owned by its [lo, hi) panel.
+func parFor(n, nw int, run func(lo, hi int)) bool {
+	if most := n / minPanel; nw > most {
+		nw = most
+	}
+	if nw < 2 {
+		return false
+	}
+	startPanelPool()
+	chunk := (n + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		t := panelTask{run: run, lo: lo, hi: hi, wg: &wg}
+		select {
+		case panelCh <- t:
+		default:
+			// Pool momentarily saturated (e.g. concurrent batch scorers):
+			// spawn rather than queue behind unrelated panels.
+			go func() {
+				t.run(t.lo, t.hi)
+				t.wg.Done()
+			}()
+		}
+	}
+	run(0, chunk)
+	wg.Wait()
+	return true
+}

@@ -141,9 +141,33 @@ type Registry struct {
 	cfg       Config
 	mu        sync.Mutex
 	state     atomic.Pointer[state]
+	onSwap    func() // fired under mu after every state publish; see SetOnSwap
 	met       *lifecycleMetrics
 	shadow    *shadowPool
 	closeOnce sync.Once
+}
+
+// SetOnSwap registers a hook fired after every lifecycle state transition
+// (load, promote, rollback — manual or automatic). The serving layer wires
+// it to Server.FlushStateCache so no cached encoded user state survives a
+// model swap. The hook runs under the registry's lifecycle mutex: it must be
+// fast and must not call back into the Registry. Call before serving starts;
+// a nil f clears the hook.
+func (r *Registry) SetOnSwap(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onSwap = f
+}
+
+// swap publishes a new lifecycle state and fires the swap hook. Callers must
+// hold r.mu — that ordering is what lets the hook's cache flush be complete:
+// any scoring pass that cached a state under the old pin either finished
+// before the store (flushed now) or picks up the new state's pin.
+func (r *Registry) swap(st *state) {
+	r.state.Store(st)
+	if r.onSwap != nil {
+		r.onSwap()
+	}
 }
 
 // New opens a registry over cfg.Root. No version is loaded yet: call Load
@@ -275,7 +299,7 @@ func (r *Registry) maybeAutoRollback(cand *version) {
 	if st.candidate != cand {
 		return // a racing lifecycle op already moved it
 	}
-	r.state.Store(&state{active: st.active, previous: st.previous})
+	r.swap(&state{active: st.active, previous: st.previous})
 	r.met.rollbacks.With("auto").Inc()
 	r.cfg.Log("registry: auto-rollback of canary %s: degrade rate %.4f exceeds active %s rate %.4f by more than %.2f (%d canary requests)",
 		cand.label, candRate, st.active.label, actRate, r.cfg.RollbackExcess, n)
@@ -309,11 +333,11 @@ func (r *Registry) Load(label string) error {
 	r.met.latency.With(label)
 	r.met.loads.Inc()
 	if st.active == nil {
-		r.state.Store(&state{active: v})
+		r.swap(&state{active: v})
 		r.cfg.Log("registry: activated %s (no prior active version)", label)
 		return nil
 	}
-	r.state.Store(&state{active: st.active, candidate: v, previous: st.previous})
+	r.swap(&state{active: st.active, candidate: v, previous: st.previous})
 	r.cfg.Log("registry: staged %s as canary candidate (%.1f%% of traffic, shadow %v)",
 		label, r.cfg.CanaryPercent, r.shadow != nil)
 	return nil
@@ -362,7 +386,7 @@ func (r *Registry) Promote(label string) error {
 	if st.candidate.label != label {
 		return fmt.Errorf("%w: candidate is %s, not %s", serve.ErrLifecycleConflict, st.candidate.label, label)
 	}
-	r.state.Store(&state{active: st.candidate, previous: st.active})
+	r.swap(&state{active: st.candidate, previous: st.active})
 	r.met.promotions.Inc()
 	r.cfg.Log("registry: promoted %s to active (previous %s kept for rollback)", label, st.active.label)
 	return nil
@@ -377,13 +401,13 @@ func (r *Registry) Rollback() (string, error) {
 	st := r.state.Load()
 	switch {
 	case st.candidate != nil:
-		r.state.Store(&state{active: st.active, previous: st.previous})
+		r.swap(&state{active: st.active, previous: st.previous})
 		r.met.rollbacks.With("manual").Inc()
 		desc := fmt.Sprintf("aborted candidate %s; active stays %s", st.candidate.label, st.active.label)
 		r.cfg.Log("registry: %s", desc)
 		return desc, nil
 	case st.previous != nil:
-		r.state.Store(&state{active: st.previous})
+		r.swap(&state{active: st.previous})
 		r.met.rollbacks.With("manual").Inc()
 		desc := fmt.Sprintf("reverted active %s to %s", st.active.label, st.previous.label)
 		r.cfg.Log("registry: %s", desc)

@@ -496,3 +496,36 @@ func exposition(t *testing.T, r *Registry) []byte {
 	}
 	return []byte(b.String())
 }
+
+// TestOnSwapFiresOnEveryTransition: the swap hook (the serving layer's
+// state-cache invalidation point) must fire on every lifecycle publish —
+// activate, stage, promote, rollback — and never spuriously.
+func TestOnSwapFiresOnEveryTransition(t *testing.T) {
+	r := newTestRegistry(t, []string{"v1", "v2"}, nil)
+	swaps := 0
+	r.SetOnSwap(func() { swaps++ })
+
+	steps := []struct {
+		op   func() error
+		want int
+	}{
+		{func() error { return r.Load("v1") }, 1},                // activate
+		{func() error { return r.Load("v2") }, 2},                // stage candidate
+		{func() error { return r.Promote("v2") }, 3},             // promote
+		{func() error { _, err := r.Rollback(); return err }, 4}, // revert to v1
+		{func() error { _, err := r.Rollback(); return err }, 4}, // nothing left: no swap
+	}
+	for i, s := range steps {
+		err := s.op()
+		if i == len(steps)-1 {
+			if err == nil {
+				t.Fatal("empty rollback should conflict")
+			}
+		} else if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if swaps != s.want {
+			t.Fatalf("step %d: %d swaps, want %d", i, swaps, s.want)
+		}
+	}
+}

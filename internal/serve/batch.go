@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/rerank"
 )
 
@@ -39,6 +40,11 @@ type scoreJob struct {
 	pin      Pinned
 	done     chan scoreOutcome
 	ownsSlot bool
+	// key identifies this request's encoded user state in the server's state
+	// cache; hasKey is set only when the cache is enabled and the pinned
+	// scorer can consume states (so workers never hash or look up in vain).
+	key    StateKey
+	hasKey bool
 }
 
 // batchKey groups coalesced jobs: only requests pinned to the same scorer
@@ -112,8 +118,14 @@ func (c *coalescer) start() {
 // waiting for, so the job dispatches immediately; the idle fast path keeps
 // single-request latency at the pre-batching baseline.
 func (c *coalescer) submit(ctx context.Context, pin Pinned, inst *rerank.Instance) <-chan scoreOutcome {
+	return c.submitJob(&scoreJob{ctx: ctx, inst: inst, pin: pin, done: make(chan scoreOutcome, 1), ownsSlot: true})
+}
+
+// submitJob is submit for a caller-built job (the rerank handler attaches a
+// state-cache key before submitting).
+func (c *coalescer) submitJob(j *scoreJob) <-chan scoreOutcome {
 	c.start()
-	j := &scoreJob{ctx: ctx, inst: inst, pin: pin, done: make(chan scoreOutcome, 1), ownsSlot: true}
+	pin := j.pin
 	if c.s.cfg.Batch.MaxBatch <= 1 || len(c.s.sem) <= 1 || !comparableScorer(pin.Scorer) {
 		c.dispatch <- []*scoreJob{j}
 		return j.done
@@ -323,6 +335,9 @@ func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
 		}
 	}()
 	scorer := jobs[0].pin.Scorer
+	if ss, ok := scorer.(StateScorer); ok && s.stateCache != nil {
+		return s.scoreJobsStates(ss, jobs, outs, &landed)
+	}
 	if bs, ok := scorer.(BatchScorer); ok && len(jobs) > 1 {
 		insts := make([]*rerank.Instance, len(jobs))
 		for i, j := range jobs {
@@ -351,6 +366,56 @@ func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
 		outs[i] = scoreOutcome{scores: scores, err: err}
 		landed = i + 1
 	}
+	return outs
+}
+
+// scoreJobsStates is the repeat-user fast path: jobs carrying a state-cache
+// key look up their encoded user state first, and the batch scores through
+// ScoreBatchStates so hits skip the preference pass entirely. Fresh states
+// come back from the same call and are installed for the next request — the
+// cache fills from scoring work the server already paid for, never from
+// extra encoding passes. Runs for single jobs too (under the job's own
+// request context, preserving per-request cancellation); a batch uses the
+// detached latest-deadline context like the plain batch path.
+//
+// Called under scoreJobs's recover, with its outs/landed so a scorer panic
+// degrades the jobs exactly as on the uncached path.
+func (s *Server) scoreJobsStates(ss StateScorer, jobs []*scoreJob, outs []scoreOutcome, landed *int) []scoreOutcome {
+	insts := make([]*rerank.Instance, len(jobs))
+	states := make([]*core.UserState, len(jobs))
+	for i, j := range jobs {
+		insts[i] = j.inst
+		if j.hasKey {
+			states[i], _ = s.stateCache.Get(j.key)
+		}
+	}
+	bctx, cancel := jobs[0].ctx, func() {}
+	if len(jobs) > 1 {
+		bctx, cancel = batchContext(jobs)
+	}
+	res, used, err := ss.ScoreBatchStates(bctx, insts, states)
+	cancel()
+	if err == nil && len(res) != len(jobs) {
+		err = fmt.Errorf("scorer %s returned %d score sets for %d instances", ss.Name(), len(res), len(jobs))
+	}
+	if err != nil {
+		for i := range outs {
+			outs[i] = scoreOutcome{err: err}
+		}
+	} else {
+		for i := range outs {
+			outs[i] = scoreOutcome{scores: res[i]}
+		}
+		// Install only fresh misses: a hit's entry is already resident (Get
+		// bumped its recency), and used is nil for diversity-free models,
+		// which have no state worth caching.
+		for i, j := range jobs {
+			if j.hasKey && states[i] == nil && i < len(used) && used[i] != nil {
+				s.stateCache.Put(j.key, used[i])
+			}
+		}
+	}
+	*landed = len(outs)
 	return outs
 }
 

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rerank"
 )
@@ -149,6 +150,12 @@ type Config struct {
 	// value enables batching with the defaults (16 / 2ms); set MaxBatch to 1
 	// to score strictly per request.
 	Batch BatchConfig
+	// StateCacheBytes is the memory budget for the encoded user-state cache
+	// (the repeat-user fast path). 0, the default, disables the cache. The
+	// cache only engages for scorers implementing StateScorer; wire
+	// Server.FlushStateCache to the model lifecycle (Registry.SetOnSwap) so a
+	// promote or rollback can never serve a stale state.
+	StateCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +228,14 @@ type serveMetrics struct {
 	batchRequests *obs.Counter   // /v1/rerank:batch envelopes
 	batchItems    *obs.Counter   // instances carried by those envelopes
 	batchSize     *obs.Histogram // instances per dispatched scoring batch
+
+	cacheHits          *obs.Counter // encoded user-state cache
+	cacheMisses        *obs.Counter
+	cacheEvictions     *obs.Counter
+	cacheInvalidations *obs.Counter
+	cacheEntries       *obs.Gauge
+	cacheBytes         *obs.Gauge
+	matWorkers         *obs.Gauge // GEMM worker knob, for perf forensics
 }
 
 func newServeMetrics(r *obs.Registry) *serveMetrics {
@@ -252,6 +267,23 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 		batchSize: r.Histogram("rapid_batch_size",
 			"Instances per dispatched scoring batch (single requests count as 1).",
 			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		// The state-cache family is registered even with the cache disabled so
+		// dashboards can tell "cache off" (all-zero series) from "metrics
+		// missing" — the same eager-visibility rule as the shed series below.
+		cacheHits: r.Counter("rapid_state_cache_hits_total",
+			"Scoring passes that reused a cached encoded user state."),
+		cacheMisses: r.Counter("rapid_state_cache_misses_total",
+			"State-cache lookups that found no usable entry."),
+		cacheEvictions: r.Counter("rapid_state_cache_evictions_total",
+			"Encoded user states evicted by the cache's memory budget (LRU)."),
+		cacheInvalidations: r.Counter("rapid_state_cache_invalidations_total",
+			"Whole-cache flushes triggered by model lifecycle transitions."),
+		cacheEntries: r.Gauge("rapid_state_cache_entries",
+			"Encoded user states currently resident in the cache."),
+		cacheBytes: r.Gauge("rapid_state_cache_bytes",
+			"Estimated bytes of encoded user states resident in the cache."),
+		matWorkers: r.Gauge("rapid_mat_workers",
+			"GEMM worker goroutines the matrix kernels may use (1 = serial)."),
 	}
 	// Eager label creation: both shed series are visible on /metrics at zero,
 	// so a router's dashboards can tell "never shed" from "series missing".
@@ -295,13 +327,14 @@ func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
 
 // Server serves a trained model behind the robustness envelope above.
 type Server struct {
-	cfg      Config
-	provider Provider
-	sem      chan struct{}
-	ready    atomic.Bool
-	reg      *obs.Registry
-	met      *serveMetrics
-	batch    *coalescer
+	cfg        Config
+	provider   Provider
+	sem        chan struct{}
+	ready      atomic.Bool
+	reg        *obs.Registry
+	met        *serveMetrics
+	batch      *coalescer
+	stateCache *StateCache // nil when Config.StateCacheBytes == 0
 
 	// Faults is the chaos-testing seam; nil in production.
 	Faults FaultInjector
@@ -334,6 +367,10 @@ func NewProviderServer(p Provider, cfg Config) *Server {
 		Log:      log.Printf,
 	}
 	s.batch = newCoalescer(s)
+	if cfg.StateCacheBytes > 0 {
+		s.stateCache = newStateCache(cfg.StateCacheBytes, s.met)
+	}
+	s.met.matWorkers.Set(float64(mat.Workers()))
 	s.ready.Store(true)
 	return s
 }
@@ -433,7 +470,8 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	// the pinned version's geometry is the contract the request must meet,
 	// and the same pin serves scoring and response labeling, so a version
 	// swap mid-request can never mix models.
-	pin := s.provider.Pick(RouteKey(&req))
+	route := RouteKey(&req)
+	pin := s.provider.Pick(route)
 	inst, err := ToInstance(pin.Manifest.Config, &req)
 	if err != nil {
 		s.met.badInput.Inc()
@@ -469,7 +507,12 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	// and only that accounting keeps the concurrency bound honest.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
 	defer cancel()
-	done := s.batch.submit(ctx, pin, inst)
+	key, hasKey := s.stateKeyFor(&req, route, pin)
+	done := s.batch.submitJob(&scoreJob{
+		ctx: ctx, inst: inst, pin: pin,
+		done: make(chan scoreOutcome, 1), ownsSlot: true,
+		key: key, hasKey: hasKey,
+	})
 
 	var resp RerankResponse
 	outcome := "ok"
@@ -562,8 +605,10 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 	resps := make([]RerankResponse, n)
 	outcomes := make([]string, n)
 	valid := 0
+	routes := make([]uint64, n)
 	for i := range breq.Requests {
-		pins[i] = s.provider.Pick(RouteKey(&breq.Requests[i]))
+		routes[i] = RouteKey(&breq.Requests[i])
+		pins[i] = s.provider.Pick(routes[i])
 		inst, err := ToInstance(pins[i].Manifest.Config, &breq.Requests[i])
 		if err != nil {
 			s.met.badInput.Inc()
@@ -608,7 +653,12 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 			if insts[i] == nil {
 				continue
 			}
-			jobs = append(jobs, &scoreJob{ctx: ctx, inst: insts[i], pin: pins[i], done: make(chan scoreOutcome, 1)})
+			key, hasKey := s.stateKeyFor(&breq.Requests[i], routes[i], pins[i])
+			jobs = append(jobs, &scoreJob{
+				ctx: ctx, inst: insts[i], pin: pins[i],
+				done: make(chan scoreOutcome, 1),
+				key:  key, hasKey: hasKey,
+			})
 			idxs = append(idxs, i)
 		}
 		// The envelope is already a batch in hand: enqueue contiguous

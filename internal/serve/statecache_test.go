@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func testStateCache(budget int64) *StateCache {
+	return newStateCache(budget, newServeMetrics(obs.NewRegistry()))
+}
+
+// stateOfSize builds a UserState whose SizeBytes is exactly 96 + 8*topics.
+func stateOfSize(topics int) *core.UserState {
+	return core.NewUserState(make([]float64, topics))
+}
+
+// TestStateCacheLRU pins the cache's budget accounting: inserts beyond the
+// byte budget evict in LRU order, a Get refreshes recency, and replacing a
+// key's entry adjusts bytes instead of double-charging.
+func TestStateCacheLRU(t *testing.T) {
+	one := int64(stateOfSize(4).SizeBytes())
+	c := testStateCache(3 * one) // room for exactly three entries
+	key := func(i int) StateKey { return StateKey{Route: uint64(i), Version: "v1"} }
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), stateOfSize(4))
+	}
+	if n, b := c.Stats(); n != 3 || b != 3*one {
+		t.Fatalf("after 3 puts: %d entries / %d bytes, want 3 / %d", n, b, 3*one)
+	}
+	// Touch key 0 so key 1 is now the LRU victim.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("resident entry missing")
+	}
+	c.Put(key(3), stateOfSize(4))
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	// Replacing a resident key must not double-charge the budget.
+	c.Put(key(0), stateOfSize(4))
+	if n, b := c.Stats(); n != 3 || b != 3*one {
+		t.Fatalf("after replace: %d entries / %d bytes, want 3 / %d", n, b, 3*one)
+	}
+	// An entry larger than the whole budget is refused outright.
+	c.Put(StateKey{Route: 99}, stateOfSize(1024))
+	if _, ok := c.Get(StateKey{Route: 99}); ok {
+		t.Fatal("over-budget state was admitted")
+	}
+	c.Flush()
+	if n, b := c.Stats(); n != 0 || b != 0 {
+		t.Fatalf("after flush: %d entries / %d bytes", n, b)
+	}
+}
+
+// TestHistoryKeyDiscriminates: the history hash must change whenever any
+// encoder input changes — user features, sequence features, or which topic a
+// behavior belongs to — and must be stable for identical requests.
+func TestHistoryKeyDiscriminates(t *testing.T) {
+	base := HistoryKey(validRequest())
+	if base != HistoryKey(validRequest()) {
+		t.Fatal("HistoryKey not deterministic")
+	}
+	user := validRequest()
+	user.UserFeatures[0] += 0.5
+	if HistoryKey(user) == base {
+		t.Fatal("user-feature change did not change the key")
+	}
+	seq := validRequest()
+	seq.TopicSequences[0][0].Features[1] += 0.5
+	if HistoryKey(seq) == base {
+		t.Fatal("sequence-feature change did not change the key")
+	}
+	moved := validRequest()
+	moved.TopicSequences[0], moved.TopicSequences[1] = moved.TopicSequences[1], moved.TopicSequences[0]
+	if HistoryKey(moved) == base {
+		t.Fatal("moving a behavior to another topic did not change the key")
+	}
+	// Items are deliberately NOT part of the history hash: the candidate list
+	// does not feed the user-preference encoder.
+	items := validRequest()
+	items.Items[0].Features[0] += 0.5
+	if HistoryKey(items) != base {
+		t.Fatal("candidate-item change leaked into the history key")
+	}
+}
+
+// TestStateCacheServesRepeatUser is the end-to-end warm path: the second
+// identical request must hit the cache and return byte-identical scores, and
+// a lifecycle flush must both count an invalidation and leave scores exactly
+// reproducible (the re-encoded state matches the evicted one).
+func TestStateCacheServesRepeatUser(t *testing.T) {
+	s := testServer(t, Config{StateCacheBytes: 1 << 20})
+	h := s.Handler()
+	body := mustJSON(t, validRequest())
+
+	scoresOf := func(raw []byte) []float64 {
+		t.Helper()
+		var resp RerankResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degraded {
+			t.Fatalf("degraded response: %s", resp.DegradedReason)
+		}
+		return resp.Scores
+	}
+	w1 := postRerank(t, h, body)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("cold request status %d", w1.Code)
+	}
+	cold := scoresOf(w1.Body.Bytes())
+	if hits, misses := s.met.cacheHits.Value(), s.met.cacheMisses.Value(); hits != 0 || misses != 1 {
+		t.Fatalf("after cold request: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if n, _ := s.stateCache.Stats(); n != 1 {
+		t.Fatalf("cold request cached %d states, want 1", n)
+	}
+
+	w2 := postRerank(t, h, body)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("warm request status %d", w2.Code)
+	}
+	warm := scoresOf(w2.Body.Bytes())
+	if hits := s.met.cacheHits.Value(); hits != 1 {
+		t.Fatalf("warm request did not hit the cache (hits=%d)", hits)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("score count changed: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Fatalf("warm score %d diverged: %v vs %v", i, warm[i], cold[i])
+		}
+	}
+
+	// Lifecycle invalidation: flush, then the same request re-encodes (a new
+	// miss) and still reproduces the cold scores exactly.
+	s.FlushStateCache()
+	if inv := s.met.cacheInvalidations.Value(); inv != 1 {
+		t.Fatalf("flush counted %d invalidations, want 1", inv)
+	}
+	w3 := postRerank(t, h, body)
+	reenc := scoresOf(w3.Body.Bytes())
+	if misses := s.met.cacheMisses.Value(); misses != 2 {
+		t.Fatalf("post-flush request should miss (misses=%d, want 2)", misses)
+	}
+	for i := range reenc {
+		if reenc[i] != cold[i] {
+			t.Fatalf("post-flush score %d diverged: %v vs %v", i, reenc[i], cold[i])
+		}
+	}
+}
+
+// TestStateCacheBatchEnvelope: repeat users inside a /v1/rerank:batch
+// envelope ride the cache too — the second envelope of the same requests
+// must produce hits and identical scores.
+func TestStateCacheBatchEnvelope(t *testing.T) {
+	s := testServer(t, Config{StateCacheBytes: 1 << 20})
+	h := s.Handler()
+	env := RerankBatchRequest{Requests: []RerankRequest{*validRequest(), *validRequest()}}
+	body := mustJSON(t, env)
+
+	first := postBatch(t, h, body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first envelope status %d", first.Code)
+	}
+	// Both items share one (route, history, version) key: the first miss
+	// encodes and installs, and within one batch the second identical item is
+	// a second miss (the lookup happens before scoring) — so the cache holds
+	// one entry either way.
+	second := postBatch(t, h, body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second envelope status %d", second.Code)
+	}
+	if hits := s.met.cacheHits.Value(); hits < 2 {
+		t.Fatalf("second envelope produced %d hits, want >= 2", hits)
+	}
+	var r1, r2 RerankBatchResponse
+	if err := json.Unmarshal(first.Body.Bytes(), &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(second.Body.Bytes(), &r2); err != nil {
+		t.Fatal(err)
+	}
+	for k := range r1.Responses {
+		a, b := r1.Responses[k], r2.Responses[k]
+		for i := range a.Scores {
+			if a.Scores[i] != b.Scores[i] {
+				t.Fatalf("envelope item %d score %d diverged", k, i)
+			}
+		}
+	}
+}
+
+// TestStateCacheConcurrentStress races scoring against cache reads, writes,
+// evictions (tiny budget) and whole-cache flushes. Run under -race in CI; the
+// correctness assertion is that every response matches the serially computed
+// expectation for its user, hit or miss.
+func TestStateCacheConcurrentStress(t *testing.T) {
+	// Budget sized for ~2 states: concurrent users constantly evict each other.
+	s := testServer(t, Config{StateCacheBytes: 256, Budget: 10 * time.Second})
+	h := s.Handler()
+
+	const users = 4
+	bodies := make([][]byte, users)
+	want := make([][]float64, users)
+	for u := 0; u < users; u++ {
+		req := validRequest()
+		req.UserFeatures[0] = 0.1 * float64(u+1)
+		bodies[u] = mustJSON(t, req)
+		w := postRerank(t, h, bodies[u])
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed request for user %d: status %d", u, w.Code)
+		}
+		var resp RerankResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want[u] = resp.Scores
+	}
+
+	stop := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.FlushStateCache()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 30; iter++ {
+				u := (g + iter) % users
+				w := postRerank(t, h, bodies[u])
+				if w.Code != http.StatusOK {
+					errc <- fmt.Errorf("user %d: status %d", u, w.Code)
+					return
+				}
+				var resp RerankResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					errc <- err
+					return
+				}
+				if resp.Degraded {
+					errc <- fmt.Errorf("user %d degraded: %s", u, resp.DegradedReason)
+					return
+				}
+				for i := range resp.Scores {
+					if resp.Scores[i] != want[u][i] {
+						errc <- fmt.Errorf("user %d score %d diverged under concurrency", u, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	flusher.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,11 +87,62 @@ done
 grep -q "rapid_model_promotions_total 1" <<<"$METRICS" \
     || { echo "FAIL: promotion not counted"; exit 1; }
 
+# Build one deterministic rerank body from the published manifest geometry,
+# so the encoded-user-state cache (on by default) can be exercised with a
+# byte-identical repeat request.
+MANIFEST_JSON="$(find "$STORE" -name '*.json' | head -1)"
+dim() { grep -o "\"$1\": *[0-9]*" "$MANIFEST_JSON" | head -1 | grep -o '[0-9]*$'; }
+UD="$(dim UserDim)"; ID_="$(dim ItemDim)"; TP="$(dim Topics)"
+[ -n "$UD" ] && [ -n "$ID_" ] && [ -n "$TP" ] \
+    || { echo "FAIL: could not read dims from $MANIFEST_JSON"; exit 1; }
+vec() { # vec N -> [0.1,0.2,...] with N entries
+    local n="$1" out="" i
+    for ((i = 0; i < n; i++)); do out="${out}${out:+,}0.$((i % 9 + 1))"; done
+    echo "[$out]"
+}
+UF="$(vec "$UD")"; IF="$(vec "$ID_")"; CV="$(vec "$TP")"
+SEQ="[{\"features\":$IF},{\"features\":$IF}]"
+SEQS="$SEQ"
+for ((i = 1; i < TP; i++)); do SEQS="$SEQS,$SEQ"; done
+ITEMS=""
+for ((i = 0; i < 5; i++)); do
+    ITEMS="${ITEMS}${ITEMS:+,}{\"id\":$i,\"features\":$IF,\"cover\":$CV,\"init_score\":0.$((i + 1))}"
+done
+BODY="{\"user_features\":$UF,\"items\":[$ITEMS],\"topic_sequences\":[$SEQS]}"
+rerank() {
+    curl -fs -X POST -H 'Content-Type: application/json' -d "$BODY" \
+        "http://$ADDR/v1/rerank"
+}
+scores() { grep -o '"scores":\[[^]]*\]' <<<"$1"; }
+metric() { awk -v m="$1" '$1 == m {print $2}' <<<"$2"; }
+ge1() { awk -v v="${1:-0}" 'BEGIN { exit !(v >= 1) }'; }
+
+echo "== user-state cache serves a byte-identical repeat request"
+R1="$(rerank)"; R2="$(rerank)"
+S1="$(scores "$R1")"; S2="$(scores "$R2")"
+[ -n "$S1" ] || { echo "FAIL: rerank returned no scores: $R1"; exit 1; }
+[ "$S1" = "$S2" ] \
+    || { echo "FAIL: repeat request scores diverged: $S1 vs $S2"; exit 1; }
+METRICS="$(curl -fs "http://$ADDR/metrics")"
+ge1 "$(metric rapid_state_cache_hits_total "$METRICS")" \
+    || { echo "FAIL: repeat request produced no state-cache hit"; exit 1; }
+ge1 "$(metric rapid_state_cache_entries "$METRICS")" \
+    || { echo "FAIL: state cache holds no entries after a scored request"; exit 1; }
+
 echo "== rollback reverts to $NEW"
 admin POST /admin/models/rollback >/dev/null
 LIST="$(admin GET /admin/models)"
 grep -q "\"version\":\"$NEW\",\"state\":\"active\"" <<<"$LIST" \
     || { echo "FAIL: rollback did not restore $NEW"; exit 1; }
+
+echo "== rollback flushed the state cache; repeat parity on $NEW"
+METRICS="$(curl -fs "http://$ADDR/metrics")"
+ge1 "$(metric rapid_state_cache_invalidations_total "$METRICS")" \
+    || { echo "FAIL: lifecycle transition did not flush the state cache"; exit 1; }
+R3="$(rerank)"; R4="$(rerank)"
+S3="$(scores "$R3")"; S4="$(scores "$R4")"
+[ -n "$S3" ] && [ "$S3" = "$S4" ] \
+    || { echo "FAIL: post-rollback repeat scores diverged: $S3 vs $S4"; exit 1; }
 
 echo "== admin guard rejects bad tokens"
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer wrong" \
