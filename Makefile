@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke
+.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke diversify-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke
 
 check: vet fmt test
 
@@ -36,6 +36,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRerankRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run=^$$ -fuzz=FuzzDiversifierAdapter -fuzztime=$(FUZZTIME) ./internal/diversify
 
 # Model-lifecycle smoke: trains two tiny models, publishes them into a
 # versioned store, serves it with rapidserve -model-root and drives a
@@ -53,6 +54,14 @@ smoke:
 # binaries.
 chaos-smoke:
 	./scripts/router_chaos_smoke.sh
+
+# Diversifier-suite smoke: publishes the four classic diversifiers as
+# weightless versions beside a trained RAPID model, then canaries each one
+# behind /v1/rerank with shadow comparison on, asserting the per-diversifier
+# rapid_diversifier_* series. The end-to-end check of internal/diversify's
+# serving seam through the real binaries.
+diversify-smoke:
+	./scripts/diversify_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

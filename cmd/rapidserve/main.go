@@ -4,10 +4,19 @@
 // industrial response budget (< 50 ms) and must never stall or crash the
 // serving chain it sits in.
 //
-// Two deployment shapes:
+// Deployment shapes:
 //
 //	rapidserve -model rapid-model.gob -addr :8080        # one fixed model
 //	rapidserve -model-root /srv/models -addr :8080       # versioned registry
+//	rapidserve -model rapid-model.gob -diversifier mmr   # classic diversifier
+//	rapidserve -model-root /srv/models -publish-diversifier window  # publish & exit
+//
+// With -diversifier the scoring seat holds a weightless classic diversifier
+// (internal/diversify: mmr, dpp, bswap or window) at -diversifier-lambda; the
+// manifest next to -model still supplies the surface geometry. With
+// -publish-diversifier a diversifier version is committed into -model-root
+// (geometry copied from the newest version) so the admin API can load,
+// canary, shadow-compare, promote and roll it back exactly like a model.
 //
 // With -model-root the server opens a model registry (internal/registry)
 // over a directory of versions published by rapidtrain -publish, activates
@@ -64,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/diversify"
 	"repro/internal/mat"
 	"repro/internal/registry"
 	"repro/internal/rerank"
@@ -89,6 +99,11 @@ func main() {
 		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
 		matWorkers   = flag.Int("mat-workers", 1, "goroutines per large GEMM in the matrix kernels (1 = serial; 0 = GOMAXPROCS)")
 		stateCacheMB = flag.Int64("state-cache-mb", 64, "memory budget in MiB for the encoded user-state cache (repeat-user fast path; 0 disables)")
+
+		diversifier  = flag.String("diversifier", "", "serve a classic diversifier (mmr|dpp|bswap|window) instead of model weights; -model still supplies the manifest geometry (single-model mode)")
+		divLambda    = flag.Float64("diversifier-lambda", 0.5, "relevance/diversity trade-off λ for -diversifier and -publish-diversifier")
+		publishDiv   = flag.String("publish-diversifier", "", "publish a weightless diversifier version (mmr|dpp|bswap|window) into -model-root, copying the newest version's geometry, then exit")
+		publishLabel = flag.String("publish-label", "", "version label for -publish-diversifier (default div-<name>)")
 
 		chaosLatency = flag.Duration("chaos-latency", 0, "CHAOS TESTING: extra latency injected into the scoring path (0 = off); slows responses while -budget allows, degrades them past it")
 		chaosLatRate = flag.Float64("chaos-latency-rate", 1, "CHAOS TESTING: fraction of requests receiving -chaos-latency")
@@ -116,9 +131,14 @@ func main() {
 	}
 	faults := chaosHooks(*chaosLatency, *chaosLatRate, *chaosErrRate, *chaosSeed)
 	var err error
-	if *modelRoot != "" {
+	switch {
+	case *publishDiv != "":
+		err = publishDiversifier(*modelRoot, *publishDiv, *publishLabel, *divLambda)
+	case *modelRoot != "":
 		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn, faults)
-	} else {
+	case *diversifier != "":
+		err = runDiversifier(ctx, *modelPath, *diversifier, *divLambda, *addr, cfg, faults)
+	default:
 		err = run(ctx, *modelPath, *addr, cfg, faults)
 	}
 	if err != nil {
@@ -183,6 +203,65 @@ func run(ctx context.Context, modelPath, addr string, cfg serve.Config, faults s
 	log.Printf("rapidserve: listening on %s (model %s, dataset %s, budget %v, metrics at /metrics, pprof %v)",
 		addr, model.Name(), man.Dataset, cfg.Budget, cfg.Pprof)
 	return srv.Run(ctx, addr)
+}
+
+// runDiversifier is the single-model shape with a classic diversifier in the
+// scoring seat: the manifest next to -model supplies the surface geometry
+// (request validation), but scoring goes through the weightless
+// internal/diversify adapter at the requested λ.
+func runDiversifier(ctx context.Context, modelPath, name string, lambda float64, addr string, cfg serve.Config, faults serve.FaultInjector) error {
+	man, err := serve.ReadManifest(modelPath)
+	if err != nil {
+		return err
+	}
+	ds, err := diversify.NewScorer(name, lambda)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(ds, man, cfg)
+	srv.Faults = faults
+	log.Printf("rapidserve: listening on %s (diversifier %s, lambda %.2f, dataset %s, budget %v)",
+		addr, ds.Name(), lambda, man.Dataset, cfg.Budget)
+	return srv.Run(ctx, addr)
+}
+
+// publishDiversifier commits a weightless diversifier version into the
+// registry root: the newest published version supplies the surface geometry,
+// the manifest gains the diversifier name and λ, and the usual atomic commit
+// makes it loadable/canariable/promotable like any model version.
+func publishDiversifier(root, name, label string, lambda float64) error {
+	if root == "" {
+		return errors.New("-publish-diversifier requires -model-root")
+	}
+	if !diversify.Known(name) {
+		return fmt.Errorf("unknown diversifier %q (have %v)", name, diversify.Names())
+	}
+	versions, err := registry.Scan(root)
+	if err != nil {
+		return err
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("no published versions in %s to copy geometry from", root)
+	}
+	latest := versions[len(versions)-1]
+	man, err := serve.ReadManifest(registry.ModelPath(root, latest))
+	if err != nil {
+		return err
+	}
+	man.Diversifier = name
+	man.DiversifierLambda = lambda
+	man.Metrics = nil // training metrics belong to the donor version
+	if label == "" {
+		label = "div-" + name
+	}
+	committed, err := registry.PublishDiversifier(root, label, man)
+	if err != nil {
+		return err
+	}
+	log.Printf("rapidserve: published diversifier version %s (diversifier %s, lambda %.2f, geometry from %s)",
+		committed, name, lambda, latest)
+	fmt.Println(committed)
+	return nil
 }
 
 // runRegistry is the versioned deployment shape: activate the newest

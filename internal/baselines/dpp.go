@@ -3,6 +3,7 @@ package baselines
 import (
 	"math"
 
+	"repro/internal/diversify"
 	"repro/internal/mat"
 	"repro/internal/rerank"
 )
@@ -64,95 +65,18 @@ func (m *DPP) Kernel(inst *rerank.Instance) *mat.Matrix {
 }
 
 // GreedyMAP returns the greedy MAP selection order over the kernel,
-// selecting up to k items. It implements Chen et al.'s incremental update:
-// after selecting j, every remaining candidate i updates
-// e_i = (L_ji − ⟨c_j, c_i⟩)/d_j, appends e_i to its Cholesky row c_i, and
-// decreases its marginal gain d_i² by e_i².
+// selecting up to k items. The Chen et al. incremental-Cholesky loop was
+// lifted verbatim into internal/diversify (where it also serves behind
+// /v1/rerank); this alias keeps PD-GAN and the benchmark suite on their
+// historical entry point.
 func GreedyMAP(kernel *mat.Matrix, k int) []int {
-	n := kernel.Rows
-	if k > n {
-		k = n
-	}
-	d2 := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d2[i] = kernel.At(i, i)
-	}
-	cvecs := make([][]float64, n)
-	selected := make([]bool, n)
-	order := make([]int, 0, k)
-	for len(order) < k {
-		best, bestGain := -1, 0.0
-		for i := 0; i < n; i++ {
-			if !selected[i] && (best < 0 || d2[i] > bestGain) {
-				best, bestGain = i, d2[i]
-			}
-		}
-		if best < 0 || d2[best] <= 1e-12 {
-			// Remaining items add no volume; fall back to index order so
-			// the returned order is still a full ranking.
-			for i := 0; i < n && len(order) < k; i++ {
-				if !selected[i] {
-					selected[i] = true
-					order = append(order, i)
-				}
-			}
-			break
-		}
-		j := best
-		selected[j] = true
-		order = append(order, j)
-		dj := math.Sqrt(d2[j])
-		cj := cvecs[j]
-		for i := 0; i < n; i++ {
-			if selected[i] {
-				continue
-			}
-			var dot float64
-			ci := cvecs[i]
-			for t := 0; t < len(cj) && t < len(ci); t++ {
-				dot += cj[t] * ci[t]
-			}
-			e := (kernel.At(j, i) - dot) / dj
-			cvecs[i] = append(cvecs[i], e)
-			d2[i] -= e * e
-			if d2[i] < 0 {
-				d2[i] = 0
-			}
-		}
-	}
-	return order
+	return diversify.GreedyMAP(kernel, k)
 }
 
 // LogDet returns log det of the kernel submatrix indexed by sel, computed
 // by Cholesky. It exists for tests verifying the greedy objective.
 func LogDet(kernel *mat.Matrix, sel []int) float64 {
-	n := len(sel)
-	sub := mat.New(n, n)
-	for a, i := range sel {
-		for b, j := range sel {
-			sub.Set(a, b, kernel.At(i, j))
-		}
-	}
-	// In-place Cholesky.
-	var logdet float64
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			s := sub.At(i, j)
-			for t := 0; t < j; t++ {
-				s -= sub.At(i, t) * sub.At(j, t)
-			}
-			if i == j {
-				if s <= 0 {
-					return math.Inf(-1)
-				}
-				sub.Set(i, i, math.Sqrt(s))
-				logdet += 2 * math.Log(sub.At(i, i))
-			} else {
-				sub.Set(i, j, s/sub.At(j, j))
-			}
-		}
-	}
-	return logdet
+	return diversify.LogDet(kernel, sel)
 }
 
 func cosine(a, b []float64) float64 {

@@ -3,45 +3,27 @@ package baselines
 import (
 	"math"
 
+	"repro/internal/diversify"
 	"repro/internal/mat"
 	"repro/internal/rerank"
-	"repro/internal/topics"
 )
 
 // greedyScores converts a greedy selection order (indices into the
 // instance's items, best first) into a score vector aligned with the
 // original positions, so greedy re-rankers satisfy the Reranker contract.
+// The implementation lives in internal/diversify (the servable home of the
+// greedy family); this alias keeps the package's other greedy baselines
+// (seq2slate, SSD, PD-GAN) on their historical helper.
 func greedyScores(order []int, l int) []float64 {
-	scores := make([]float64, l)
-	for rank, idx := range order {
-		scores[idx] = float64(l - rank)
-	}
-	return scores
+	return diversify.GreedyScores(order, l)
 }
 
 // normalizeRelevance min-max scales initial scores into [0,1] so the
 // relevance and coverage-gain terms of MMR-style objectives are comparable.
+// Lifted into internal/diversify; identical on the finite scores every
+// instance here carries.
 func normalizeRelevance(init []float64) []float64 {
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, s := range init {
-		if s < lo {
-			lo = s
-		}
-		if s > hi {
-			hi = s
-		}
-	}
-	out := make([]float64, len(init))
-	if hi-lo < 1e-12 {
-		for i := range out {
-			out[i] = 0.5
-		}
-		return out
-	}
-	for i, s := range init {
-		out[i] = (s - lo) / (hi - lo)
-	}
-	return out
+	return diversify.NormalizeRelevance(init)
 }
 
 // MMR is Carbonell & Goldstein's Maximal Marginal Relevance, instantiated
@@ -66,36 +48,14 @@ func (m *MMR) Scores(inst *rerank.Instance) []float64 {
 }
 
 // mmrScores runs the greedy MMR loop. topicWeights, when non-nil, weights
-// the per-topic coverage gain (adpMMR's personalization).
+// the per-topic coverage gain (adpMMR's personalization). The loop itself
+// was lifted into diversify.MMRSelect so the same selection serves behind
+// /v1/rerank; the equivalence tests pin this delegation against a frozen
+// copy of the pre-refactor loop.
 func mmrScores(inst *rerank.Instance, theta float64, topicWeights []float64) []float64 {
-	l := inst.L()
 	rel := normalizeRelevance(inst.InitScores)
-	ic := topics.NewIncrementalCoverage(inst.M)
-	selected := make([]bool, l)
-	order := make([]int, 0, l)
-	for len(order) < l {
-		best, bestScore := -1, math.Inf(-1)
-		for i := 0; i < l; i++ {
-			if selected[i] {
-				continue
-			}
-			var gain float64
-			if topicWeights == nil {
-				gain = ic.GainTotal(inst.Cover[i])
-			} else {
-				g := ic.Gain(inst.Cover[i])
-				gain = mat.Dot(topicWeights, g) * float64(inst.M)
-			}
-			s := theta*rel[i] + (1-theta)*gain
-			if s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		selected[best] = true
-		ic.Add(inst.Cover[best])
-		order = append(order, best)
-	}
-	return greedyScores(order, l)
+	order := diversify.MMRSelect(rel, inst.Cover, inst.M, theta, topicWeights)
+	return greedyScores(order, inst.L())
 }
 
 // AdpMMR is the adaptive-diversity heuristic of Di Noia et al.: the user's

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the cross-evaluation golden table")
+
+// TestDiversifyCrossEvalGolden pins the full cross-evaluation report — RAPID
+// plus the four classic diversifiers over the three dataset generators at
+// smoke scale — to a committed golden table. The pipeline is deterministic
+// end to end (seeded data, seeded training, expected-click evaluation,
+// serial exposure accumulation), so any drift in a diversifier, a metric, or
+// the harness shows up as a diff here. Refresh with:
+//
+//	go test ./internal/experiments -run TestDiversifyCrossEvalGolden -update
+func TestDiversifyCrossEvalGolden(t *testing.T) {
+	tbl, err := RunDiversifyCrossEval(tinyOptions(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.String()
+
+	wantDatasets := 3
+	wantRerankers := 5 // RAPID-pro + bswap, dpp, mmr, window
+	if len(tbl.Rows) != wantDatasets*wantRerankers {
+		t.Fatalf("cross-eval table has %d rows, want %d datasets x %d rerankers",
+			len(tbl.Rows), wantDatasets, wantRerankers)
+	}
+	for _, name := range []string{"RAPID-pro", "div-mmr", "div-dpp", "div-bswap", "div-window"} {
+		if !strings.Contains(got, name) {
+			t.Fatalf("cross-eval table missing reranker %q:\n%s", name, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "crosseval_diversify.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("cross-eval table drifted from golden (refresh with -update if intended)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

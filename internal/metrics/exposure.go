@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of an item-exposure distribution: 0 when
+// every item gets identical exposure, approaching 1 as exposure concentrates
+// on a single item. Exposure counts are non-negative by construction;
+// negative or non-finite entries read as 0 so a hostile histogram cannot push
+// the coefficient outside [0,1]. Empty and all-zero distributions return 0
+// (perfect equality of nothing).
+func Gini(exposure []float64) float64 {
+	n := len(exposure)
+	if n == 0 {
+		return 0
+	}
+	xs := make([]float64, n)
+	var max float64
+	for i, v := range exposure {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			v = 0
+		}
+		xs[i] = v
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	// Gini is scale-invariant; dividing by the max keeps the sums finite for
+	// arbitrarily large exposure counts, and summing in sorted order makes the
+	// result exactly permutation-invariant.
+	var total float64
+	for i := range xs {
+		xs[i] /= max
+		total += xs[i]
+	}
+	// Mean-difference form over the sorted sample:
+	// G = Σ_i (2i − n − 1)·x_(i) / (n·Σx), i 1-based.
+	var num float64
+	for i, v := range xs {
+		num += float64(2*(i+1)-n-1) * v
+	}
+	return num / (float64(n) * total)
+}
+
+// LongTailShare returns the fraction of an exposed top-k slate occupied by
+// long-tail items, where isTail classifies an item (by ID). It measures how
+// much shelf space a re-ranker gives to unpopular inventory.
+func LongTailShare(ranked []int, isTail func(int) bool, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	tail := 0
+	for _, v := range ranked[:k] {
+		if isTail(v) {
+			tail++
+		}
+	}
+	return float64(tail) / float64(k)
+}
+
+// NoveltyAtK returns the mean self-information −log2 p(v) of the top-k items,
+// where pop gives each item's popularity as a probability in (0,1]. Higher is
+// more novel: recommending rarely-interacted items carries more information.
+// Items with non-positive or non-finite popularity contribute 0 rather than
+// an unbounded surprise.
+func NoveltyAtK(ranked []int, pop func(int) float64, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range ranked[:k] {
+		p := pop(v)
+		if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			continue
+		}
+		if p > 1 {
+			p = 1
+		}
+		sum += -math.Log2(p)
+	}
+	return sum / float64(k)
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"uniform", []float64{3, 3, 3, 3}, 0},
+		{"single item", []float64{7}, 0},
+		// All exposure on one of n items: G = (n−1)/n.
+		{"concentrated", []float64{0, 0, 0, 10}, 0.75},
+		// {1,3}: mean-difference form gives 0.25.
+		{"two unequal", []float64{1, 3}, 0.25},
+	}
+	for _, c := range cases {
+		if got := Gini(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gini(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestGiniHostileInput(t *testing.T) {
+	in := []float64{math.NaN(), math.Inf(1), -5, 2, 2}
+	got := Gini(in)
+	if math.IsNaN(got) || got < 0 || got > 1 {
+		t.Fatalf("Gini on hostile input = %v, want finite in [0,1]", got)
+	}
+}
+
+func TestGiniRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		g := Gini(raw)
+		return !math.IsNaN(g) && g >= 0 && g <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw []float64) bool {
+		perm := make([]float64, len(raw))
+		copy(perm, raw)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		a, b := Gini(raw), Gini(perm)
+		return a == b || math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongTailShare(t *testing.T) {
+	isTail := func(v int) bool { return v >= 100 }
+	ranked := []int{1, 100, 2, 101, 3}
+	if got := LongTailShare(ranked, isTail, 4); got != 0.5 {
+		t.Errorf("LongTailShare = %v, want 0.5", got)
+	}
+	if got := LongTailShare(ranked, isTail, 10); got != 0.4 {
+		t.Errorf("LongTailShare k>n = %v, want 0.4", got)
+	}
+	if got := LongTailShare(nil, isTail, 5); got != 0 {
+		t.Errorf("LongTailShare(empty) = %v, want 0", got)
+	}
+}
+
+func TestNoveltyAtK(t *testing.T) {
+	pop := func(v int) float64 {
+		switch v {
+		case 1:
+			return 0.5
+		case 2:
+			return 0.25
+		default:
+			return 0 // unknown popularity contributes nothing
+		}
+	}
+	// (−log2 0.5 − log2 0.25)/2 = (1+2)/2.
+	if got := NoveltyAtK([]int{1, 2}, pop, 2); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("NoveltyAtK = %v, want 1.5", got)
+	}
+	if got := NoveltyAtK([]int{3, 3}, pop, 2); got != 0 {
+		t.Errorf("NoveltyAtK(zero pop) = %v, want 0", got)
+	}
+	if got := NoveltyAtK(nil, pop, 3); got != 0 {
+		t.Errorf("NoveltyAtK(empty) = %v, want 0", got)
+	}
+}

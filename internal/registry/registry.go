@@ -59,8 +59,10 @@ type Config struct {
 	// Registry receives the lifecycle metrics; nil means a private one.
 	// Pass the serving registry so /metrics carries both namespaces.
 	Registry *obs.Registry
-	// Loader loads one version's artifacts; nil uses serve.LoadModel. The
-	// seam exists for tests and fault injection.
+	// Loader loads one version's artifacts; nil uses serve.LoadScorer, which
+	// returns the neural model or — for manifests naming a diversifier — the
+	// weightless classic-diversifier adapter. The seam exists for tests and
+	// fault injection.
 	Loader func(modelPath string) (serve.Scorer, serve.Manifest, error)
 	// Log receives operational messages; nil uses log.Printf.
 	Log func(format string, args ...any)
@@ -92,9 +94,7 @@ func (c Config) withDefaults() Config {
 		c.Registry = obs.NewRegistry()
 	}
 	if c.Loader == nil {
-		c.Loader = func(path string) (serve.Scorer, serve.Manifest, error) {
-			return serve.LoadModel(path)
-		}
+		c.Loader = serve.LoadScorer
 	}
 	if c.Log == nil {
 		c.Log = log.Printf

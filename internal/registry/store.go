@@ -63,6 +63,32 @@ func ValidLabel(label string) error {
 // server either sees the complete version or nothing. An empty label
 // generates a UTC-timestamped one (v20060102T150405, suffixed on collision).
 func Publish(root, label string, ps *nn.ParamSet, man serve.Manifest) (string, error) {
+	return publishStaged(root, label, man, func(staging string) error {
+		return ps.SaveFileAtomic(filepath.Join(staging, ModelFile))
+	})
+}
+
+// PublishDiversifier commits a weightless classic-diversifier version: the
+// manifest must name a registered diversifier (serve.LoadScorer then builds
+// the diversify adapter instead of reading weights), and ModelFile is written
+// as a placeholder so the commit protocol — and every scanner that treats
+// "both files exist" as the commit marker — stays identical to a neural
+// version. The manifest's Config still describes the surface geometry so
+// warm-up validation and request shaping work unchanged.
+func PublishDiversifier(root, label string, man serve.Manifest) (string, error) {
+	if man.Diversifier == "" {
+		return "", fmt.Errorf("registry: manifest names no diversifier")
+	}
+	return publishStaged(root, label, man, func(staging string) error {
+		placeholder := []byte("diversifier:" + man.Diversifier + "\n")
+		return writeFileSync(filepath.Join(staging, ModelFile), placeholder)
+	})
+}
+
+// publishStaged is the shared atomic commit discipline: write the version's
+// artifacts inside a hidden staging directory, fsync it, rename it to the
+// final label, fsync the root so the rename survives a crash.
+func publishStaged(root, label string, man serve.Manifest, writeModel func(staging string) error) (string, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return "", fmt.Errorf("registry: create root: %w", err)
 	}
@@ -82,7 +108,7 @@ func Publish(root, label string, ps *nn.ParamSet, man serve.Manifest) (string, e
 	}
 	defer os.RemoveAll(staging) // no-op after the rename succeeds
 
-	if err := ps.SaveFileAtomic(filepath.Join(staging, ModelFile)); err != nil {
+	if err := writeModel(staging); err != nil {
 		return "", err
 	}
 	if err := serve.WriteManifestFileAtomic(filepath.Join(staging, ManifestFile), man); err != nil {
@@ -98,6 +124,24 @@ func Publish(root, label string, ps *nn.ParamSet, man serve.Manifest) (string, e
 		return "", err
 	}
 	return label, nil
+}
+
+// writeFileSync writes a small artifact and fsyncs it; inside a staging
+// directory the usual temp-and-rename dance is unnecessary (the whole
+// directory renames atomically), but durability still matters.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("registry: write %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("registry: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("registry: sync %s: %w", path, err)
+	}
+	return nil
 }
 
 // nextLabel generates a fresh timestamped label, suffixing a counter when

@@ -47,6 +47,11 @@ type scoreJob struct {
 	hasKey bool
 }
 
+// diversifierNamer is the metric-labeling hook a weightless diversifier
+// scorer (internal/diversify.Scorer) implements: the bare registry name
+// ("mmr", "window", …) that labels its rapid_diversifier_* series.
+type diversifierNamer interface{ DiversifierName() string }
+
 // batchKey groups coalesced jobs: only requests pinned to the same scorer
 // instance and version label may share a batch, so a canary/candidate split
 // or a mid-flight promote can never mix models inside one ScoreBatch call.
@@ -264,6 +269,20 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 		s.met.scoring.ObserveDuration(elapsed)
 	}
 	s.met.inflight.Add(float64(-n))
+	// Per-diversifier serving metrics: jobs pinned to a classic diversifier
+	// version land in the rapid_diversifier_* family, labeled with the
+	// registry name, so canary/shadow dashboards can compare heuristics
+	// against model versions series-by-series.
+	for i, j := range pass {
+		dn, ok := j.pin.Scorer.(diversifierNamer)
+		if !ok || outs[i].err != nil {
+			continue
+		}
+		name := dn.DiversifierName()
+		s.met.divRequests.With(name).Inc()
+		s.met.divItems.With(name).Add(int64(j.inst.L()))
+		s.met.divLatency.With(name).ObserveDuration(elapsed)
+	}
 	for i, j := range faulted {
 		s.finish(j, fouts[i])
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/diversify"
 	"repro/internal/topics"
 )
 
@@ -27,6 +28,14 @@ type Manifest struct {
 	Lambda  float64            `json:"lambda"`
 	Config  core.Config        `json:"config"`
 	Metrics map[string]float64 `json:"Metrics,omitempty"`
+
+	// Diversifier, when non-empty, marks a weightless version: instead of
+	// loading model weights the server instantiates the named classic
+	// diversifier (internal/diversify) at DiversifierLambda. The Config
+	// geometry still describes the surface the version serves, so warm-up
+	// validation and request shaping work unchanged.
+	Diversifier       string  `json:"diversifier,omitempty"`
+	DiversifierLambda float64 `json:"diversifier_lambda,omitempty"`
 }
 
 // ManifestPath derives the manifest's path from the weights path
@@ -117,7 +126,51 @@ func decodeManifest(r io.Reader) (Manifest, error) {
 	if err := ValidateConfig(man.Config); err != nil {
 		return man, fmt.Errorf("invalid model config: %w", err)
 	}
+	if man.Diversifier != "" && !diversify.Known(man.Diversifier) {
+		return man, fmt.Errorf("unknown diversifier %q", man.Diversifier)
+	}
 	return man, nil
+}
+
+// ReadManifest reads and validates the manifest next to modelPath without
+// touching weights — callers that only need the declared geometry (publishing
+// a diversifier version for an existing surface) stop here.
+func ReadManifest(modelPath string) (Manifest, error) {
+	mf, err := os.Open(ManifestPath(modelPath))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("open manifest: %w", err)
+	}
+	defer mf.Close()
+	man, err := decodeManifest(mf)
+	if err != nil {
+		return man, fmt.Errorf("manifest %s: %w", ManifestPath(modelPath), err)
+	}
+	return man, nil
+}
+
+// LoadScorer is the version-agnostic load path the registry uses: it reads
+// the manifest and returns either the neural model (LoadModel) or, when the
+// manifest names a diversifier, the weightless diversify adapter. Both come
+// back behind the same Scorer seam, so everything downstream — warm-up,
+// canary, shadow, batching, metrics — treats a classic heuristic exactly
+// like a learned model version.
+func LoadScorer(modelPath string) (Scorer, Manifest, error) {
+	man, err := ReadManifest(modelPath)
+	if err != nil {
+		return nil, man, err
+	}
+	if man.Diversifier != "" {
+		ds, err := diversify.NewScorer(man.Diversifier, man.DiversifierLambda)
+		if err != nil {
+			return nil, man, err
+		}
+		return ds, man, nil
+	}
+	m, man, err := LoadModel(modelPath)
+	if err != nil {
+		return nil, man, err
+	}
+	return m, man, nil
 }
 
 // WriteManifestFileAtomic writes a manifest with the same atomic discipline

@@ -229,6 +229,10 @@ type serveMetrics struct {
 	batchItems    *obs.Counter   // instances carried by those envelopes
 	batchSize     *obs.Histogram // instances per dispatched scoring batch
 
+	divRequests *obs.CounterVec   // scored jobs per diversifier
+	divItems    *obs.CounterVec   // candidates re-ranked per diversifier
+	divLatency  *obs.HistogramVec // batch wall-clock per diversifier
+
 	cacheHits          *obs.Counter // encoded user-state cache
 	cacheMisses        *obs.Counter
 	cacheEvictions     *obs.Counter
@@ -267,6 +271,16 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 		batchSize: r.Histogram("rapid_batch_size",
 			"Instances per dispatched scoring batch (single requests count as 1).",
 			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		// The diversifier family is registered even when only neural versions
+		// are resident, so a canary dashboard can tell "no diversifier traffic"
+		// (series at zero) from "metrics missing" — same eager-visibility rule
+		// as the cache family below.
+		divRequests: r.CounterVec("rapid_diversifier_requests_total",
+			"Requests scored by a classic diversifier version, by diversifier name.", "diversifier"),
+		divItems: r.CounterVec("rapid_diversifier_items_total",
+			"Candidates re-ranked by a classic diversifier version, by diversifier name.", "diversifier"),
+		divLatency: r.HistogramVec("rapid_diversifier_latency_seconds",
+			"Scoring wall-clock of batches served by a classic diversifier version, by diversifier name.", "diversifier", nil),
 		// The state-cache family is registered even with the cache disabled so
 		// dashboards can tell "cache off" (all-zero series) from "metrics
 		// missing" — the same eager-visibility rule as the shed series below.
