@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke diversify-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke
+.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke diversify-smoke feedback-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke bench-pr9
 
 check: vet fmt test
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRerankRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzDiversifierAdapter -fuzztime=$(FUZZTIME) ./internal/diversify
+	$(GO) test -run=^$$ -fuzz=FuzzFeedbackEvent -fuzztime=$(FUZZTIME) ./internal/feedback
 
 # Model-lifecycle smoke: trains two tiny models, publishes them into a
 # versioned store, serves it with rapidserve -model-root and drives a
@@ -62,6 +63,17 @@ chaos-smoke:
 # serving seam through the real binaries.
 diversify-smoke:
 	./scripts/diversify_smoke.sh
+
+# Feedback-loop smoke: serves with the event log and a bandit λ slice on,
+# drives DCM-simulated clicks into /v1/feedback, kill -9s the server
+# mid-traffic, then runs the rapidfeed trainer against the live admin API
+# until an online-learned div-fb-* version is canaried and promoted.
+# Asserts zero dropped requests, the rapid_feedback_*/rapid_bandit_* series,
+# a byte-identical log prefix across the crash, and incremental ≡ batch
+# re-estimation on the replayed log. The end-to-end check of
+# internal/feedback through the real binaries.
+feedback-smoke:
+	./scripts/feedback_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -95,3 +107,10 @@ bench-pr7:
 # multi-core machines, or a warm path that does not beat cold.
 bench-pr7-smoke:
 	$(GO) run ./cmd/rapidbench -pr7json BENCH_PR7.json -smoke -check
+
+# Bandit regret study: simulates the serving-path λ policy against every
+# fixed-λ ablation over a segment-heterogeneous reward environment and
+# writes the committed report. Fails if the policy's fitted regret exponent
+# is not sublinear.
+bench-pr9:
+	$(GO) run ./cmd/rapidfeed -regretjson BENCH_PR9.json

@@ -1,0 +1,285 @@
+// Command rapidfeed is the offline half of the online feedback loop: it
+// replays the crash-safe feedback event log that rapidserve writes, streams
+// the sessions into the incremental click-model estimator, picks the
+// best-performing diversifier λ from the bandit evidence in the log, and
+// republishes it as a canaried registry version through the serving admin
+// API — warm-up, canary and auto-rollback gate every online-learned version
+// exactly like a hand-published one.
+//
+// Modes:
+//
+//	rapidfeed -log /var/feedback -model-root /srv/models -admin http://127.0.0.1:8080
+//	    trainer loop (default): replay new events on an interval, re-estimate,
+//	    publish div-fb-* versions and promote them after canary traffic.
+//	rapidfeed -log /var/feedback -once
+//	    one trainer step, then exit (cron shape).
+//	rapidfeed -log /var/feedback -dump
+//	    replay the log to stdout as canonical JSON lines ("seq<TAB>event");
+//	    byte-identical prefixes across crashes are the smoke-test contract.
+//	rapidfeed -log /var/feedback -estimate [-check-batch]
+//	    replay, fit the incremental DCM and print the parameters;
+//	    -check-batch re-fits with the batch MLE over the same sessions and
+//	    exits non-zero if the two disagree beyond FP summation noise.
+//	rapidfeed -regretjson BENCH_PR9.json
+//	    run the bandit-vs-fixed-λ regret study and write the report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/bandit"
+	"repro/internal/clickmodel"
+	"repro/internal/feedback"
+)
+
+func main() {
+	var (
+		logDir     = flag.String("log", "", "feedback event log directory (written by rapidserve -feedback-log)")
+		modelRoot  = flag.String("model-root", "", "registry root to publish online-learned versions into")
+		adminURL   = flag.String("admin", "", "base URL of the serving admin API (e.g. http://127.0.0.1:8080)")
+		adminToken = flag.String("admin-token", "", "bearer token for the admin API")
+		interval   = flag.Duration("interval", 15*time.Second, "trainer re-estimation cadence")
+		minEvents  = flag.Int("min-events", 200, "new events required before a re-estimate and republish")
+		maxLen     = flag.Int("max-len", 64, "click-model position horizon")
+		minPulls   = flag.Int64("min-arm-pulls", 50, "bandit evidence an arm needs before its λ can be published")
+		promoteAft = flag.Int64("promote-after", 50, "canary requests a published candidate must serve before promotion")
+		promoteTO  = flag.Duration("promote-timeout", 60*time.Second, "how long to watch a canary before leaving it staged")
+		once       = flag.Bool("once", false, "run one trainer step and exit")
+
+		dump       = flag.Bool("dump", false, "replay the log as canonical JSON lines to stdout and exit")
+		estimate   = flag.Bool("estimate", false, "replay the log, fit the incremental DCM and print parameters")
+		checkBatch = flag.Bool("check-batch", false, "with -estimate: verify the incremental fit against the batch MLE")
+		tolerance  = flag.Float64("tolerance", 1e-9, "max |incremental − batch| parameter difference for -check-batch")
+
+		regretJSON = flag.String("regretjson", "", "write the bandit-vs-fixed-λ regret study to this JSON file and exit")
+		rounds     = flag.Int("rounds", 30000, "simulated rounds for -regretjson")
+		segments   = flag.Int("segments", 4, "user segments for -regretjson")
+		arms       = flag.String("arms", "mmr@0.2,mmr@0.4,mmr@0.6,mmr@0.8", "λ grid for -regretjson")
+		seed       = flag.Int64("seed", 3, "environment/reward seed for -regretjson")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *regretJSON != "":
+		err = runRegretStudy(*regretJSON, *arms, *rounds, *segments, *seed)
+	case *dump:
+		err = runDump(*logDir)
+	case *estimate:
+		err = runEstimate(*logDir, *maxLen, *checkBatch, *tolerance)
+	default:
+		err = runTrainer(trainerFlags{
+			logDir: *logDir, modelRoot: *modelRoot,
+			adminURL: *adminURL, adminToken: *adminToken,
+			interval: *interval, minEvents: *minEvents, maxLen: *maxLen,
+			minPulls: *minPulls, promoteAfter: *promoteAft, promoteTimeout: *promoteTO,
+			once: *once,
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rapidfeed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type trainerFlags struct {
+	logDir, modelRoot, adminURL, adminToken string
+	interval                                time.Duration
+	minEvents, maxLen                       int
+	minPulls, promoteAfter                  int64
+	promoteTimeout                          time.Duration
+	once                                    bool
+}
+
+func runTrainer(f trainerFlags) error {
+	if f.logDir == "" || f.modelRoot == "" || f.adminURL == "" {
+		return fmt.Errorf("trainer mode needs -log, -model-root and -admin")
+	}
+	tr, err := feedback.NewTrainer(feedback.TrainerConfig{
+		LogDir:    f.logDir,
+		ModelRoot: f.modelRoot,
+		Lifecycle: &feedback.AdminClient{BaseURL: f.adminURL, Token: f.adminToken},
+		Interval:  f.interval, MinEvents: f.minEvents, MaxLen: f.maxLen,
+		MinArmPulls: f.minPulls, PromoteAfter: f.promoteAfter, PromoteTimeout: f.promoteTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if f.once {
+		return tr.Step(ctx)
+	}
+	return tr.Run(ctx)
+}
+
+// runDump replays the log as deterministic "seq<TAB>json" lines. Two dumps
+// of the same directory — one before a crash, one after recovery and more
+// traffic — must agree byte-for-byte on their common prefix; the smoke test
+// holds the loop to that.
+func runDump(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-dump needs -log")
+	}
+	out := json.NewEncoder(os.Stdout)
+	st, err := feedback.Replay(dir, 0, func(seq uint64, ev feedback.Event) error {
+		if _, err := fmt.Printf("%d\t", seq); err != nil {
+			return err
+		}
+		return out.Encode(&ev)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rapidfeed: dumped %d events (corrupt %d, truncated tail %v, next seq %d)\n",
+		st.Events, st.Corrupt, st.Truncated, st.NextSeq)
+	return nil
+}
+
+// runEstimate replays the log into the incremental estimator. With
+// -check-batch it also runs the batch MLE over the identical sessions and
+// verifies the two fits agree — the cross-process form of the equivalence
+// the unit tests assert in-process.
+func runEstimate(dir string, maxLen int, checkBatch bool, tol float64) error {
+	if dir == "" {
+		return fmt.Errorf("-estimate needs -log")
+	}
+	sessions, st, err := feedback.ReplaySessions(dir)
+	if err != nil {
+		return err
+	}
+	inc := clickmodel.NewIncremental(maxLen)
+	for _, s := range sessions {
+		inc.Add(s)
+	}
+	est := inc.Estimate(1, nil)
+	fmt.Fprintf(os.Stderr, "rapidfeed: %d sessions, %d clicks replayed (corrupt %d, truncated %v)\n",
+		inc.Sessions(), inc.Clicks(), st.Corrupt, st.Truncated)
+	printEstimate(est)
+	if !checkBatch {
+		return nil
+	}
+	batch := clickmodel.Estimate(sessions, 1.0, 1, nil, maxLen)
+	var worst float64
+	for v, b := range batch.Alpha {
+		worst = math.Max(worst, math.Abs(est.Alpha[v]-b))
+	}
+	for k := range batch.Eps {
+		worst = math.Max(worst, math.Abs(est.Eps[k]-batch.Eps[k]))
+	}
+	if worst > tol {
+		return fmt.Errorf("incremental and batch estimates diverge: max |Δ| = %.3e > %.0e", worst, tol)
+	}
+	fmt.Fprintf(os.Stderr, "rapidfeed: incremental ≡ batch (max |Δ| = %.3e ≤ %.0e)\n", worst, tol)
+	return nil
+}
+
+func printEstimate(est *clickmodel.Estimated) {
+	items := make([]int, 0, len(est.Alpha))
+	for v := range est.Alpha {
+		items = append(items, v)
+	}
+	sort.Ints(items)
+	show := items
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	for _, v := range show {
+		fmt.Printf("alpha[%d] = %.6f\n", v, est.Alpha[v])
+	}
+	if len(items) > len(show) {
+		fmt.Printf("… %d more items\n", len(items)-len(show))
+	}
+	for k, e := range est.Eps {
+		if k >= 8 {
+			break
+		}
+		fmt.Printf("eps[%d] = %.6f\n", k, e)
+	}
+}
+
+// regretReport is the committed BENCH_PR9.json shape: the learned policy's
+// regret curve against every fixed-λ baseline over the same environment.
+type regretReport struct {
+	Study    string                          `json:"study"`
+	Rounds   int                             `json:"rounds"`
+	Segments int                             `json:"segments"`
+	Arms     []string                        `json:"arms"`
+	Policy   regretCurveJSON                 `json:"policy"`
+	Fixed    map[string]regretCurveJSON      `json:"fixed_lambda"`
+	Notes    string                          `json:"notes"`
+	Sub      bool                            `json:"policy_sublinear"`
+	Curves   map[string][]bandit.RegretPoint `json:"-"`
+}
+
+type regretCurveJSON struct {
+	FinalRegret float64              `json:"final_regret"`
+	Alpha       float64              `json:"fitted_exponent"`
+	Points      []bandit.RegretPoint `json:"points,omitempty"`
+}
+
+// runRegretStudy simulates the serving-path policy against a
+// segment-heterogeneous reward environment and every fixed-λ ablation, then
+// writes the committed study: sublinear policy regret (fitted exponent ≪ 1)
+// versus linear fixed-λ regret.
+func runRegretStudy(path, armSpec string, rounds, segments int, seed int64) error {
+	arms, err := bandit.ParseArms(armSpec)
+	if err != nil {
+		return err
+	}
+	env := bandit.DefaultPolicyEnv(segments, len(arms), seed)
+	pol, err := bandit.NewPolicy(bandit.PolicyConfig{Arms: arms, Segments: segments, Seed: uint64(seed)})
+	if err != nil {
+		return err
+	}
+	every := rounds / 30
+	if every < 1 {
+		every = 1
+	}
+	policyCurve := bandit.SimulatePolicy(pol, env, rounds, every, seed+1)
+	rep := regretReport{
+		Study:    "bandit-tuned lambda vs fixed lambda (true cumulative regret)",
+		Rounds:   rounds,
+		Segments: segments,
+		Policy: regretCurveJSON{
+			FinalRegret: policyCurve.Final,
+			Alpha:       policyCurve.Alpha,
+			Points:      policyCurve.Points,
+		},
+		Fixed: map[string]regretCurveJSON{},
+		Sub:   policyCurve.Alpha < 0.9,
+		Notes: "Environment: per-segment Bernoulli rewards with segment-dependent best arm " +
+			"(DefaultPolicyEnv). The policy sees sampled rewards only, as in live serving; " +
+			"regret is measured against the per-segment oracle mean. Fixed-λ baselines " +
+			"grow linearly (exponent ≈ 1); the LinUCB policy's fitted exponent shows " +
+			"sublinear growth.",
+	}
+	for i, a := range arms {
+		rep.Arms = append(rep.Arms, a.Label())
+		c := bandit.SimulateFixedArm(i, env, rounds, every, seed+1)
+		rep.Fixed[a.Label()] = regretCurveJSON{FinalRegret: c.Final, Alpha: c.Alpha}
+		fmt.Fprintf(os.Stderr, "rapidfeed: fixed %-16s regret %8.1f (exponent %.3f)\n", a.Label(), c.Final, c.Alpha)
+	}
+	fmt.Fprintf(os.Stderr, "rapidfeed: policy            regret %8.1f (exponent %.3f, sublinear %v)\n",
+		policyCurve.Final, policyCurve.Alpha, rep.Sub)
+	if !rep.Sub {
+		return fmt.Errorf("policy regret exponent %.3f is not sublinear", policyCurve.Alpha)
+	}
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rapidfeed: wrote %s\n", path)
+	return nil
+}

@@ -13,6 +13,11 @@
 // not just its aggregate throughput. With -benchjson the run is merged into
 // a scenario map by name, so consecutive runs (e.g. hedged vs unhedged)
 // accumulate into one report.
+//
+// With -feedback-pct the generator also plays the user: a ground-truth DCM
+// simulates clicks over each served ranking and POSTs the click/skip vector
+// to /v1/feedback with the response's request_id, closing the online
+// feedback loop end to end.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/benchsuite"
+	"repro/internal/clickmodel"
 	"repro/internal/serve"
 )
 
@@ -51,6 +57,7 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "merge results into this load report (e.g. BENCH_PR6.json)")
 		scenario  = flag.String("scenario", "default", "scenario name for -benchjson")
 		maxErrRat = flag.Float64("max-error-rate", 1, "exit non-zero if errors/requests exceeds this fraction")
+		feedback  = flag.Float64("feedback-pct", 0, "percent of OK responses followed by a DCM-simulated click event POSTed to /v1/feedback")
 	)
 	flag.Parse()
 	if err := run(loadConfig{
@@ -59,6 +66,7 @@ func main() {
 		rps: *rps, duration: *duration, users: *users, zipfS: *zipfS,
 		timeout: *timeout, seed: *seed, repeatUserPct: *repeat,
 		benchJSON: *benchJSON, scenario: *scenario, maxErrRate: *maxErrRat,
+		feedbackPct: *feedback,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidload: %v\n", err)
 		os.Exit(1)
@@ -77,6 +85,7 @@ type loadConfig struct {
 	repeatUserPct                     float64
 	benchJSON, scenario               string
 	maxErrRate                        float64
+	feedbackPct                       float64
 }
 
 // outcome tallies terminal request results under one mutex with the latency
@@ -87,6 +96,8 @@ type outcome struct {
 	degraded  int64
 	shed      int64
 	errors    int64
+	fbOK      int64
+	fbErr     int64
 	latencyMS []float64
 }
 
@@ -113,8 +124,12 @@ func run(cfg loadConfig) error {
 	if cfg.repeatUserPct < 0 || cfg.repeatUserPct > 100 {
 		return fmt.Errorf("repeat-user-pct must be in [0,100]")
 	}
+	if cfg.feedbackPct < 0 || cfg.feedbackPct > 100 {
+		return fmt.Errorf("feedback-pct must be in [0,100]")
+	}
 
 	bodies := newBodyCache(cfg)
+	sim := newClickSim(cfg, bodies)
 	rng := rand.New(rand.NewSource(cfg.seed))
 	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.users-1))
 	client := &http.Client{Timeout: cfg.timeout}
@@ -152,7 +167,7 @@ loop:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				fire(client, cfg.target, bodies.get(user), &res)
+				fire(client, cfg.target, user, bodies.get(user), &res, sim)
 			}()
 		}
 	}
@@ -168,6 +183,9 @@ loop:
 			"rapidload: latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
 		total, elapsed.Round(time.Millisecond), res.ok, res.degraded, res.shed, res.errors,
 		p50, p90, p99, max)
+	if sim != nil {
+		fmt.Fprintf(os.Stderr, "rapidload: feedback events — accepted %d, failed %d\n", res.fbOK, res.fbErr)
+	}
 
 	if cfg.benchJSON != "" {
 		sc := benchsuite.LoadScenario{
@@ -198,8 +216,9 @@ loop:
 	return nil
 }
 
-// fire sends one request and classifies the result.
-func fire(client *http.Client, target string, body []byte, res *outcome) {
+// fire sends one request, classifies the result, and — when click
+// simulation is on — follows a successful response with a feedback event.
+func fire(client *http.Client, target string, user int, body []byte, res *outcome, sim *clickSim) {
 	start := time.Now()
 	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
 		target+"/v1/rerank", bytes.NewReader(body))
@@ -219,16 +238,91 @@ func fire(client *http.Client, target string, body []byte, res *outcome) {
 	lat := time.Since(start)
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if dec.Decode(&rr) == nil && rr.Degraded {
+		decoded := dec.Decode(&rr) == nil
+		if decoded && rr.Degraded {
 			res.add("degraded", lat)
 		} else {
 			res.add("ok", lat)
+		}
+		if decoded && sim != nil {
+			sim.maybeSend(client, user, &rr, res)
 		}
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
 		res.add("shed", lat)
 	default:
 		res.add("error", lat)
+	}
+}
+
+// clickSim turns the load generator into the closed feedback loop's user: a
+// ground-truth DCM (λ=1 — attraction is the item's own init_score, the same
+// signal the server ranked by) scans each served list top-down and the
+// resulting click/skip vector is POSTed back to /v1/feedback with the
+// response's request_id.
+type clickSim struct {
+	pct    float64
+	dcm    *clickmodel.DCM
+	mu     sync.Mutex
+	rng    *rand.Rand
+	target string
+}
+
+func newClickSim(cfg loadConfig, bodies *bodyCache) *clickSim {
+	if cfg.feedbackPct <= 0 {
+		return nil
+	}
+	zero := make([]float64, cfg.topics)
+	return &clickSim{
+		pct:    cfg.feedbackPct,
+		target: cfg.target,
+		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
+		dcm: &clickmodel.DCM{
+			Lambda:      1,
+			Relevance:   func(_, item int) float64 { return bodies.initScore(item) },
+			DivWeight:   func(int) []float64 { return zero },
+			Cover:       func(int) []float64 { return zero },
+			Termination: clickmodel.DefaultTermination(cfg.listLen, 0.6, 0.85),
+			Topics:      cfg.topics,
+		},
+	}
+}
+
+func (s *clickSim) maybeSend(client *http.Client, user int, rr *serve.RerankResponse, res *outcome) {
+	if rr.RequestID == "" || len(rr.Ranked) == 0 {
+		return
+	}
+	s.mu.Lock()
+	send := s.rng.Float64()*100 < s.pct
+	var clicks []bool
+	if send {
+		clicks, _ = s.dcm.Simulate(user, rr.Ranked, s.rng)
+	}
+	s.mu.Unlock()
+	if !send {
+		return
+	}
+	ev := serve.FeedbackEvent{
+		RequestID:    rr.RequestID,
+		Items:        rr.Ranked,
+		Clicks:       clicks,
+		ModelVersion: rr.ModelVersion,
+	}
+	body, err := json.Marshal(&ev)
+	if err != nil {
+		res.add("fb-err", 0)
+		return
+	}
+	resp, err := client.Post(s.target+"/v1/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		res.add("fb-err", 0)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		res.add("fb-ok", 0)
+	} else {
+		res.add("fb-err", 0)
 	}
 }
 
@@ -242,6 +336,10 @@ func (o *outcome) add(kind string, lat time.Duration) {
 		o.degraded++
 	case "shed":
 		o.shed++
+	case "fb-ok":
+		o.fbOK++
+	case "fb-err":
+		o.fbErr++
 	default:
 		o.errors++
 	}
@@ -254,13 +352,26 @@ func (o *outcome) add(kind string, lat time.Duration) {
 // features are seeded by the user id, so user u's body — and therefore its
 // route key and owning replica — is identical across runs and processes.
 type bodyCache struct {
-	cfg loadConfig
-	mu  sync.Mutex
-	by  map[int][]byte
+	cfg    loadConfig
+	mu     sync.Mutex
+	by     map[int][]byte
+	scores map[int]float64 // item id → init_score, for the click simulator
 }
 
 func newBodyCache(cfg loadConfig) *bodyCache {
-	return &bodyCache{cfg: cfg, by: make(map[int][]byte)}
+	return &bodyCache{cfg: cfg, by: make(map[int][]byte), scores: make(map[int]float64)}
+}
+
+// initScore recalls the init_score a generated item was sent with; the click
+// simulator uses it as the item's ground-truth attraction. Unknown ids (never
+// generated by this process) read as weakly attractive.
+func (c *bodyCache) initScore(item int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.scores[item]; ok {
+		return s
+	}
+	return 0.1
 }
 
 func (c *bodyCache) get(user int) []byte {
@@ -299,12 +410,14 @@ func (c *bodyCache) build(user int) []byte {
 		for j := range cover {
 			cover[j] = rng.Float64() * 0.5
 		}
-		req.Items = append(req.Items, serve.RerankItem{
+		it := serve.RerankItem{
 			ID:        user*1000 + i,
 			Features:  vec(c.cfg.itemDim),
 			Cover:     cover,
 			InitScore: rng.Float64(),
-		})
+		}
+		c.scores[it.ID] = it.InitScore
+		req.Items = append(req.Items, it)
 	}
 	b, err := json.Marshal(&req)
 	if err != nil {

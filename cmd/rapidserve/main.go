@@ -30,6 +30,7 @@
 //	POST /v1/rerank       — JSON request → re-ranked item IDs and scores
 //	POST /v1/rerank:batch — multi-request envelope, scored as one batch
 //	POST /rerank          — alias for /v1/rerank (pre-v1 clients)
+//	POST /v1/feedback     — click/skip events joined back to served responses (-feedback-log)
 //	GET  /healthz  — liveness, model metadata and operational counters
 //	GET  /readyz   — readiness; 503 while draining
 //	GET  /metrics  — Prometheus text exposition (internal/obs)
@@ -73,7 +74,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bandit"
 	"repro/internal/diversify"
+	"repro/internal/feedback"
 	"repro/internal/mat"
 	"repro/internal/registry"
 	"repro/internal/rerank"
@@ -99,6 +102,16 @@ func main() {
 		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
 		matWorkers   = flag.Int("mat-workers", 1, "goroutines per large GEMM in the matrix kernels (1 = serial; 0 = GOMAXPROCS)")
 		stateCacheMB = flag.Int64("state-cache-mb", 64, "memory budget in MiB for the encoded user-state cache (repeat-user fast path; 0 disables)")
+
+		feedbackLog     = flag.String("feedback-log", "", "directory for the append-only feedback event log; mounts POST /v1/feedback (registry mode)")
+		feedbackQueue   = flag.Int("feedback-queue", 1024, "bounded feedback ingest queue; a full queue sheds events with 429")
+		feedbackSegMB   = flag.Int64("feedback-segment-mb", 4, "feedback log segment rotation threshold in MiB")
+		feedbackMaxSegs = flag.Int("feedback-max-segments", 64, "committed feedback log segments retained before the oldest are deleted")
+		banditPct       = flag.Float64("bandit-pct", 0, "percent of traffic served by bandit-tuned diversifier arms (requires -feedback-log)")
+		banditArms      = flag.String("bandit-arms", "mmr@0.2,mmr@0.4,mmr@0.6,mmr@0.8", "comma-separated λ grid of diversifier arms, e.g. mmr@0.2,window@0.8")
+		banditSegments  = flag.Int("bandit-segments", 8, "user segments (route key % segments) learning independent arm values")
+		banditAlgo      = flag.String("bandit-algo", "linucb", "bandit learner: linucb or eps")
+		banditEps       = flag.Float64("bandit-epsilon", 0.05, "forced-exploration rate on top of the learner")
 
 		diversifier  = flag.String("diversifier", "", "serve a classic diversifier (mmr|dpp|bswap|window) instead of model weights; -model still supplies the manifest geometry (single-model mode)")
 		divLambda    = flag.Float64("diversifier-lambda", 0.5, "relevance/diversity trade-off λ for -diversifier and -publish-diversifier")
@@ -130,12 +143,25 @@ func main() {
 		},
 	}
 	faults := chaosHooks(*chaosLatency, *chaosLatRate, *chaosErrRate, *chaosSeed)
+	fb := feedbackOpts{
+		dir:         *feedbackLog,
+		queue:       *feedbackQueue,
+		segmentMB:   *feedbackSegMB,
+		maxSegments: *feedbackMaxSegs,
+		banditPct:   *banditPct,
+		arms:        *banditArms,
+		segments:    *banditSegments,
+		algo:        *banditAlgo,
+		epsilon:     *banditEps,
+	}
 	var err error
 	switch {
 	case *publishDiv != "":
 		err = publishDiversifier(*modelRoot, *publishDiv, *publishLabel, *divLambda)
 	case *modelRoot != "":
-		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn, faults)
+		err = runRegistry(ctx, *modelRoot, *addr, cfg, *canaryPct, *shadowOn, faults, fb)
+	case *feedbackLog != "" || *banditPct > 0:
+		err = errors.New("-feedback-log and -bandit-pct require -model-root (the feedback loop republishes through the registry)")
 	case *diversifier != "":
 		err = runDiversifier(ctx, *modelPath, *diversifier, *divLambda, *addr, cfg, faults)
 	default:
@@ -264,10 +290,26 @@ func publishDiversifier(root, name, label string, lambda float64) error {
 	return nil
 }
 
+// feedbackOpts carries the -feedback-* / -bandit-* flags into registry mode.
+type feedbackOpts struct {
+	dir         string
+	queue       int
+	segmentMB   int64
+	maxSegments int
+	banditPct   float64
+	arms        string
+	segments    int
+	algo        string
+	epsilon     float64
+}
+
 // runRegistry is the versioned deployment shape: activate the newest
 // published version, serve through the registry so versions hot-swap under
-// live traffic, expose the lifecycle admin API, and rescan on SIGHUP.
-func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canaryPct float64, shadow bool, faults serve.FaultInjector) error {
+// live traffic, expose the lifecycle admin API, and rescan on SIGHUP. With
+// -feedback-log it closes the loop: /v1/feedback events land in a crash-safe
+// append-only log, and with -bandit-pct a slice of traffic is served by
+// bandit-tuned diversifier arms whose values learn from that feedback.
+func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canaryPct float64, shadow bool, faults serve.FaultInjector, fb feedbackOpts) error {
 	reg, err := registry.New(registry.Config{
 		Root:          root,
 		CanaryPercent: canaryPct,
@@ -283,7 +325,54 @@ func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canar
 	}
 	cfg.Registry = reg.ObsRegistry()
 	cfg.Admin = reg
-	srv := serve.NewProviderServer(reg, cfg)
+
+	var provider serve.Provider = reg
+	if fb.banditPct > 0 && fb.dir == "" {
+		return errors.New("-bandit-pct requires -feedback-log (arms learn from ingested feedback)")
+	}
+	if fb.dir != "" {
+		l, err := feedback.Open(fb.dir, feedback.Options{
+			SegmentBytes: fb.segmentMB << 20,
+			MaxSegments:  fb.maxSegments,
+		})
+		if err != nil {
+			return err
+		}
+		var pol *bandit.Policy
+		if fb.banditPct > 0 {
+			arms, err := bandit.ParseArms(fb.arms)
+			if err != nil {
+				return err
+			}
+			pol, err = bandit.NewPolicy(bandit.PolicyConfig{
+				Arms:     arms,
+				Segments: fb.segments,
+				Algo:     fb.algo,
+				Epsilon:  fb.epsilon,
+			})
+			if err != nil {
+				return err
+			}
+			provider, err = feedback.NewBanditProvider(reg, pol, fb.banditPct)
+			if err != nil {
+				return err
+			}
+		}
+		ing := feedback.NewIngestor(l, pol, feedback.IngestConfig{
+			QueueSize: fb.queue,
+			Registry:  reg.ObsRegistry(),
+		})
+		defer func() {
+			if err := ing.Close(); err != nil {
+				log.Printf("rapidserve: feedback log close: %v", err)
+			}
+		}()
+		cfg.Feedback = ing
+		log.Printf("rapidserve: feedback log at %s (queue %d, segment %d MiB, retain %d), bandit %.1f%% (%s over %q, %d segments)",
+			fb.dir, fb.queue, fb.segmentMB, fb.maxSegments, fb.banditPct, fb.algo, fb.arms, fb.segments)
+	}
+
+	srv := serve.NewProviderServer(provider, cfg)
 	srv.Faults = faults
 	// Every lifecycle transition flushes the encoded user-state cache: a
 	// promoted or rolled-back model must never serve a state encoded by its

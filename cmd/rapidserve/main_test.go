@@ -21,7 +21,7 @@ func TestRunMissingModel(t *testing.T) {
 }
 
 func TestRunRegistryEmptyRoot(t *testing.T) {
-	err := runRegistry(context.Background(), t.TempDir(), "127.0.0.1:0", serve.Config{}, 5, false, nil)
+	err := runRegistry(context.Background(), t.TempDir(), "127.0.0.1:0", serve.Config{}, 5, false, nil, feedbackOpts{})
 	if err == nil {
 		t.Fatal("empty registry root accepted")
 	}
@@ -42,8 +42,14 @@ func TestRunRegistryStartsAndDrains(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
+	// Full feedback wiring: event log, ingest queue and a bandit slice all
+	// come up and drain with the server.
+	fb := feedbackOpts{
+		dir: filepath.Join(root, "feedback"), queue: 16, segmentMB: 1, maxSegments: 4,
+		banditPct: 10, arms: "mmr@0.2,mmr@0.8", segments: 2, algo: "linucb", epsilon: 0.05,
+	}
 	go func() {
-		errc <- runRegistry(ctx, root, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, 5, true, nil)
+		errc <- runRegistry(ctx, root, "127.0.0.1:0", serve.Config{DrainTimeout: time.Second}, 5, true, nil, fb)
 	}()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
@@ -54,6 +60,9 @@ func TestRunRegistryStartsAndDrains(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("runRegistry did not drain after cancel")
+	}
+	if _, err := os.Stat(filepath.Join(root, "feedback", "index.json")); err != nil {
+		t.Fatalf("feedback log was not created/committed: %v", err)
 	}
 }
 

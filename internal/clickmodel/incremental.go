@@ -1,0 +1,220 @@
+package clickmodel
+
+import (
+	"repro/internal/mat"
+)
+
+// Incremental maintains DCM sufficient statistics session by session, so the
+// online feedback loop can re-estimate (α̃, ε̃) from a replayed click log
+// without holding the raw sessions. It is the streaming form of Estimate's
+// λ=1 EM (Guo et al. 2009) and is equivalence-tested against it.
+//
+// What streams exactly and what must be retained follows from the shape of
+// the EM: per iteration, the E-step needs one number per session — the
+// posterior termination probability at its last click, which depends only on
+// (last-click position, the items after it) and the current (α̃, ε̃) — while
+// the M-step tallies are otherwise parameter-free:
+//
+//   - click counts per item and per position are EM-invariant → streamed;
+//   - examination weight 1 for every position up to the last click (and for
+//     whole no-click sessions) is EM-invariant → streamed into examsBase;
+//   - only the tail (positions after the last click) carries the
+//     parameter-dependent weight 1−pTerm → each clicked session leaves a
+//     compact residual {last, tail items}, and Estimate re-runs the exact EM
+//     over those residuals.
+//
+// A session with no clicks is fully absorbed at Add time; a clicked session
+// keeps only its tail. Estimate therefore reproduces Estimate's batch fit
+// bit-for-bit up to floating-point summation order. Residual memory grows
+// with clicked sessions; Compact folds the oldest residuals into the
+// streamed aggregates using the latest parameter estimates — after that the
+// fit is approximate for the folded sessions (documented in DESIGN.md), so
+// equivalence tests never compact.
+type Incremental struct {
+	maxLen    int
+	sessions  int64
+	clicks    int64
+	compacted int64
+
+	clicksOf  map[int]float64 // exact per-item click counts
+	examsBase map[int]float64 // exam weight 1 contributions (EM-invariant)
+	clicksAt  []float64       // exact per-position click counts (≤ maxLen)
+	termBase  []float64       // folded-in termAt mass from Compact
+
+	residuals []residual
+
+	// Last published estimate, reused by Compact to fold residuals.
+	lastAlpha map[int]float64
+	lastEps   []float64
+}
+
+// residual is the parameter-dependent remainder of one clicked session.
+type residual struct {
+	last int32
+	tail []int32
+}
+
+// NewIncremental builds an empty estimator with position horizon maxLen
+// (the length of the fitted ε̃ vector, as in Estimate).
+func NewIncremental(maxLen int) *Incremental {
+	return &Incremental{
+		maxLen:    maxLen,
+		clicksOf:  make(map[int]float64),
+		examsBase: make(map[int]float64),
+		clicksAt:  make([]float64, maxLen),
+		termBase:  make([]float64, maxLen),
+	}
+}
+
+// Add folds one session into the sufficient statistics. O(len(List)); a
+// clicked session additionally retains its post-last-click tail.
+func (in *Incremental) Add(s Session) {
+	in.sessions++
+	last := lastClick(s.Clicks)
+	for k, v := range s.List {
+		if last >= 0 && k > last {
+			break
+		}
+		in.examsBase[v]++
+		if k < len(s.Clicks) && s.Clicks[k] {
+			in.clicksOf[v]++
+			in.clicks++
+			if k < in.maxLen {
+				in.clicksAt[k]++
+			}
+		}
+	}
+	if last >= 0 {
+		tail := make([]int32, len(s.List)-last-1)
+		for i, v := range s.List[last+1:] {
+			tail[i] = int32(v)
+		}
+		in.residuals = append(in.residuals, residual{last: int32(last), tail: tail})
+	}
+}
+
+// Sessions is the number of sessions absorbed so far.
+func (in *Incremental) Sessions() int64 { return in.sessions }
+
+// Clicks is the number of clicks absorbed so far.
+func (in *Incremental) Clicks() int64 { return in.clicks }
+
+// Residuals is the number of clicked sessions currently retained for exact
+// EM refinement.
+func (in *Incremental) Residuals() int { return len(in.residuals) }
+
+// Compacted is the number of sessions folded out of the exact-EM window.
+func (in *Incremental) Compacted() int64 { return in.compacted }
+
+// naiveAlpha is the EM initialization: Laplace-smoothed click-through over
+// naive examinations, identical to Estimate's starting point.
+func (in *Incremental) naiveAlpha() map[int]float64 {
+	alpha := make(map[int]float64, len(in.examsBase))
+	for v, ex := range in.examsBase {
+		alpha[v] = (in.clicksOf[v] + 0.5) / (ex + 1)
+	}
+	return alpha
+}
+
+// pTerm is the E-step posterior that a session terminated at its last click,
+// given the current parameters — shared by Estimate and Compact.
+func pTerm(r residual, alpha map[int]float64, eps []float64, maxLen int) float64 {
+	cont := 1.0
+	for _, v := range r.tail {
+		cont *= 1 - alpha[int(v)]
+	}
+	e := eps[min(int(r.last), maxLen-1)]
+	return e / (e + (1-e)*cont + 1e-12)
+}
+
+// Estimate runs the exact EM over the streamed aggregates plus the retained
+// residuals and returns the fitted parameters. With an uncompacted estimator
+// the result matches Estimate(logs, 1, m, cover, maxLen) on the same
+// sessions up to floating-point summation order. The per-user diversity
+// weight ρ̃ is not fitted — the feedback log records item ids and clicks,
+// not topic coverage, so the online loop re-estimates under λ=1 (see
+// DESIGN.md); cover may be nil (items then resolve to zero coverage).
+func (in *Incremental) Estimate(m int, cover func(item int) []float64) *Estimated {
+	if cover == nil {
+		zero := make([]float64, m)
+		cover = func(int) []float64 { return zero }
+	}
+	e := &Estimated{
+		Alpha:  in.naiveAlpha(),
+		Eps:    make([]float64, in.maxLen),
+		Rho:    make(map[int][]float64),
+		Lambda: 1,
+		Topics: m,
+		Cover:  cover,
+	}
+	for k := range e.Eps {
+		e.Eps[k] = 0.5
+	}
+	for iter := 0; iter < 6; iter++ {
+		exams := make(map[int]float64, len(in.examsBase))
+		for v, ex := range in.examsBase {
+			exams[v] = ex
+		}
+		termAt := make([]float64, in.maxLen)
+		copy(termAt, in.termBase)
+		for _, r := range in.residuals {
+			pt := pTerm(r, e.Alpha, e.Eps, in.maxLen)
+			for _, v := range r.tail {
+				exams[int(v)] += 1 - pt
+			}
+			if int(r.last) < in.maxLen {
+				termAt[r.last] += pt
+			}
+		}
+		for v, ex := range exams {
+			e.Alpha[v] = (in.clicksOf[v] + 0.5) / (ex + 1)
+		}
+		for k := 0; k < in.maxLen; k++ {
+			if in.clicksAt[k] > 0 {
+				e.Eps[k] = mat.Clamp((termAt[k]+0.5)/(in.clicksAt[k]+1), 0.01, 0.99)
+			}
+		}
+	}
+	in.lastAlpha = e.Alpha
+	in.lastEps = e.Eps
+	return e
+}
+
+// Compact bounds residual memory: when more than maxResiduals clicked
+// sessions are retained, the oldest are folded into the streamed aggregates
+// using their E-step posterior under the latest estimate (or the naive
+// initialization if Estimate has not run). Folded sessions stop
+// participating in future E-steps — their termination posterior is frozen —
+// so the fit becomes approximate for them while remaining exact for the
+// retained window. Returns the number of residuals folded.
+func (in *Incremental) Compact(maxResiduals int) int {
+	if maxResiduals < 0 {
+		maxResiduals = 0
+	}
+	n := len(in.residuals) - maxResiduals
+	if n <= 0 {
+		return 0
+	}
+	alpha, eps := in.lastAlpha, in.lastEps
+	if alpha == nil {
+		alpha = in.naiveAlpha()
+	}
+	if eps == nil {
+		eps = make([]float64, in.maxLen)
+		for k := range eps {
+			eps[k] = 0.5
+		}
+	}
+	for _, r := range in.residuals[:n] {
+		pt := pTerm(r, alpha, eps, in.maxLen)
+		for _, v := range r.tail {
+			in.examsBase[int(v)] += 1 - pt
+		}
+		if int(r.last) < in.maxLen {
+			in.termBase[r.last] += pt
+		}
+	}
+	in.residuals = append(in.residuals[:0], in.residuals[n:]...)
+	in.compacted += int64(n)
+	return n
+}

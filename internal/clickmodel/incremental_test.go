@@ -1,0 +1,160 @@
+package clickmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simSessions draws n sessions from the test DCM with permuted lists.
+func simSessions(t *testing.T, n int, seed int64) []Session {
+	t.Helper()
+	d := testDCM(1.0)
+	rng := rand.New(rand.NewSource(seed))
+	logs := make([]Session, 0, n)
+	for i := 0; i < n; i++ {
+		list := rng.Perm(4)
+		clicks, _ := d.Simulate(0, list, rng)
+		logs = append(logs, Session{User: 0, List: list, Clicks: clicks})
+	}
+	return logs
+}
+
+// assertEstimatesClose compares the fitted parameters of two estimates to a
+// tolerance. The incremental EM reorders floating-point summation relative to
+// the batch EM, so "equivalence" means agreement to ~1e-9, not bit equality.
+func assertEstimatesClose(t *testing.T, got, want *Estimated, tol float64) {
+	t.Helper()
+	if len(got.Alpha) != len(want.Alpha) {
+		t.Fatalf("alpha support differs: %d vs %d items", len(got.Alpha), len(want.Alpha))
+	}
+	for v, w := range want.Alpha {
+		g, ok := got.Alpha[v]
+		if !ok {
+			t.Fatalf("alpha missing item %d", v)
+		}
+		if math.Abs(g-w) > tol {
+			t.Fatalf("alpha[%d] = %.15f, batch %.15f (|Δ| %.2e > %.0e)", v, g, w, math.Abs(g-w), tol)
+		}
+	}
+	if len(got.Eps) != len(want.Eps) {
+		t.Fatalf("eps length %d vs %d", len(got.Eps), len(want.Eps))
+	}
+	for k := range want.Eps {
+		if math.Abs(got.Eps[k]-want.Eps[k]) > tol {
+			t.Fatalf("eps[%d] = %.15f, batch %.15f", k, got.Eps[k], want.Eps[k])
+		}
+	}
+}
+
+// TestIncrementalMatchesBatch is the core equivalence contract: streaming the
+// same sessions one at a time and estimating must reproduce the batch λ=1 EM.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const maxLen = 4
+	logs := simSessions(t, 5000, 17)
+	batch := Estimate(logs, 1.0, 2, nil, maxLen)
+
+	inc := NewIncremental(maxLen)
+	for _, s := range logs {
+		inc.Add(s)
+	}
+	assertEstimatesClose(t, inc.Estimate(2, nil), batch, 1e-9)
+}
+
+// TestIncrementalOrderInvariance: sufficient statistics are sums, so the
+// arrival order of sessions must not change the fit beyond FP noise.
+func TestIncrementalOrderInvariance(t *testing.T) {
+	const maxLen = 4
+	logs := simSessions(t, 2000, 29)
+
+	fwd := NewIncremental(maxLen)
+	for _, s := range logs {
+		fwd.Add(s)
+	}
+	rev := NewIncremental(maxLen)
+	for i := len(logs) - 1; i >= 0; i-- {
+		rev.Add(logs[i])
+	}
+	assertEstimatesClose(t, rev.Estimate(2, nil), fwd.Estimate(2, nil), 1e-9)
+}
+
+// TestIncrementalChunkedMatchesBatch models the trainer's actual usage:
+// absorb events in several replay steps, estimating between them. Interleaved
+// Estimate calls must not perturb the statistics.
+func TestIncrementalChunkedMatchesBatch(t *testing.T) {
+	const maxLen = 4
+	logs := simSessions(t, 3000, 41)
+	batch := Estimate(logs, 1.0, 2, nil, maxLen)
+
+	inc := NewIncremental(maxLen)
+	for i, s := range logs {
+		inc.Add(s)
+		if i == 999 || i == 1999 {
+			inc.Estimate(2, nil) // mid-stream estimate, result discarded
+		}
+	}
+	assertEstimatesClose(t, inc.Estimate(2, nil), batch, 1e-9)
+	if inc.Sessions() != int64(len(logs)) {
+		t.Fatalf("sessions = %d, want %d", inc.Sessions(), len(logs))
+	}
+}
+
+// TestIncrementalCompact: folding residuals bounds memory, keeps the session
+// and click counters intact, and only perturbs the fit slightly (the folded
+// sessions freeze their termination posterior at the latest estimate).
+func TestIncrementalCompact(t *testing.T) {
+	const maxLen = 4
+	logs := simSessions(t, 4000, 53)
+
+	exact := NewIncremental(maxLen)
+	folded := NewIncremental(maxLen)
+	for _, s := range logs {
+		exact.Add(s)
+		folded.Add(s)
+	}
+	want := exact.Estimate(2, nil)
+
+	folded.Estimate(2, nil) // give Compact a converged posterior to freeze
+	n := folded.Compact(100)
+	if n <= 0 {
+		t.Fatalf("compact folded %d residuals, want > 0", n)
+	}
+	if folded.Residuals() != 100 {
+		t.Fatalf("residual window = %d, want 100", folded.Residuals())
+	}
+	if folded.Compacted() != int64(n) {
+		t.Fatalf("compacted counter = %d, want %d", folded.Compacted(), n)
+	}
+	if folded.Sessions() != exact.Sessions() || folded.Clicks() != exact.Clicks() {
+		t.Fatal("compact must not lose session or click counts")
+	}
+	// A second compact to the same bound is a no-op.
+	if again := folded.Compact(100); again != 0 {
+		t.Fatalf("idempotent compact folded %d more", again)
+	}
+
+	// Because the posterior was converged when frozen, the approximate fit
+	// stays close to the exact one — loose tolerance, this is approximation
+	// quality, not equivalence.
+	assertEstimatesClose(t, folded.Estimate(2, nil), want, 2e-2)
+}
+
+// TestIncrementalNoClickSessionsStreamFully: sessions without clicks leave no
+// residual, so an all-skip log needs zero residual memory.
+func TestIncrementalNoClickSessions(t *testing.T) {
+	inc := NewIncremental(4)
+	for i := 0; i < 100; i++ {
+		inc.Add(Session{User: 0, List: []int{0, 1, 2, 3}, Clicks: []bool{false, false, false, false}})
+	}
+	if inc.Residuals() != 0 {
+		t.Fatalf("no-click sessions retained %d residuals", inc.Residuals())
+	}
+	est := inc.Estimate(2, nil)
+	// 100 examinations, 0 clicks: alpha is the Laplace floor 0.5/101.
+	want := 0.5 / 101
+	for v := 0; v < 4; v++ {
+		if math.Abs(est.Alpha[v]-want) > 1e-12 {
+			t.Fatalf("alpha[%d] = %v, want Laplace floor %v", v, est.Alpha[v], want)
+		}
+	}
+}

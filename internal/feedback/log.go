@@ -1,0 +1,477 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options bounds a feedback log. The zero value of every field falls back
+// to the listed default.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB): the active
+	// segment rotates once it grows past this size.
+	SegmentBytes int64
+	// MaxSegments caps retained committed segments (default 64); beyond it
+	// the oldest are deleted, bounding disk to ~MaxSegments·SegmentBytes.
+	MaxSegments int
+	// SyncEvery fsyncs the active segment after this many appends (default
+	// 64). Rotation and Close always fsync: a committed segment is durable.
+	// The window trades at most SyncEvery events to a power loss — a
+	// process crash alone loses nothing the page cache has.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = 64
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	return o
+}
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".flog"
+	// IndexFile is the atomically committed segment manifest: rewritten via
+	// temp-file + rename + directory fsync on every rotation (the same
+	// commit discipline as registry.Publish), so it can never be observed
+	// half-written. It is a cache — Open rebuilds the truth from the
+	// segment files and self-heals a stale or missing index.
+	IndexFile = "index.json"
+)
+
+// SegmentInfo describes one committed (rotated, fsynced) segment.
+type SegmentInfo struct {
+	Name     string `json:"name"`
+	FirstSeq uint64 `json:"first_seq"`
+	Records  int64  `json:"records"`
+	Bytes    int64  `json:"bytes"`
+}
+
+type indexFile struct {
+	NextSeq  uint64        `json:"next_seq"`
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Log is the bounded, crash-safe, segmented append-only event log. One
+// writer (the ingest goroutine) appends under a mutex; readers replay the
+// directory concurrently and see a committed prefix. Sequence numbers start
+// at 1 and are dense within what is retained.
+type Log struct {
+	dir string
+	opt Options
+
+	mu            sync.Mutex
+	f             *os.File
+	activeName    string
+	activeFirst   uint64
+	activeBytes   int64
+	activeRecords int64
+	nextSeq       uint64
+	sinceSync     int
+	committed     []SegmentInfo
+	closed        bool
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%012d%s", segPrefix, firstSeq, segSuffix)
+}
+
+// Open opens (or creates) the log in dir and recovers its tail: the newest
+// segment is scanned record by record and truncated at the first torn or
+// corrupt frame, so a kill -9 mid-write costs at most the partial record —
+// everything before it replays byte-identically after restart.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: create log dir: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt, nextSeq: 1}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	idx := readIndex(dir)
+	byName := make(map[string]SegmentInfo, len(idx.Segments))
+	for _, s := range idx.Segments {
+		byName[s.Name] = s
+	}
+	for i, name := range names {
+		if i == len(names)-1 {
+			break // the newest segment is recovered below, not trusted
+		}
+		info, ok := byName[name]
+		if !ok || info.Name == "" {
+			// Crash between rotation and index write, or a foreign index:
+			// rebuild this segment's entry from its bytes.
+			info = scanSegment(dir, name)
+		}
+		l.committed = append(l.committed, info)
+		if end := info.FirstSeq + uint64(info.Records); end > l.nextSeq {
+			l.nextSeq = end
+		}
+	}
+	if len(names) == 0 {
+		if err := l.openSegment(l.nextSeq); err != nil {
+			return nil, err
+		}
+		return l, l.writeIndex()
+	}
+	if err := l.recoverActive(names[len(names)-1]); err != nil {
+		return nil, err
+	}
+	return l, l.writeIndex() // self-heal a stale index
+}
+
+// segmentNames lists the segment files, oldest first (zero-padded first-seq
+// names sort lexicographically).
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: scan log dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment rebuilds a committed segment's info by decoding it.
+func scanSegment(dir, name string) SegmentInfo {
+	info := SegmentInfo{Name: name, FirstSeq: firstSeqOf(name)}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return info
+	}
+	info.Bytes = int64(len(data))
+	for len(data) > 0 {
+		seq, _, n, err := DecodeRecord(data)
+		if err != nil {
+			break
+		}
+		if info.Records == 0 {
+			info.FirstSeq = seq
+		}
+		info.Records++
+		data = data[n:]
+	}
+	return info
+}
+
+func firstSeqOf(name string) uint64 {
+	var seq uint64
+	_, _ = fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &seq)
+	return seq
+}
+
+// recoverActive scans the newest segment, truncates a torn tail, and opens
+// it for append.
+func (l *Log) recoverActive(name string) error {
+	path := filepath.Join(l.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("feedback: recover %s: %w", name, err)
+	}
+	l.activeName = name
+	l.activeFirst = firstSeqOf(name)
+	if l.activeFirst+1 > l.nextSeq { // empty active segment created at firstSeq
+		l.nextSeq = l.activeFirst
+	}
+	good := 0
+	rest := data
+	for len(rest) > 0 {
+		seq, _, n, err := DecodeRecord(rest)
+		if err != nil {
+			break // torn or corrupt tail: everything after is discarded
+		}
+		good += n
+		l.activeRecords++
+		l.nextSeq = seq + 1
+		rest = rest[n:]
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: open active segment: %w", err)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return fmt.Errorf("feedback: truncate torn tail of %s: %w", name, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.activeBytes = int64(good)
+	return nil
+}
+
+// openSegment creates a fresh active segment starting at firstSeq and makes
+// its existence durable (directory fsync).
+func (l *Log) openSegment(firstSeq uint64) error {
+	name := segName(firstSeq)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: create segment: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.activeName = name
+	l.activeFirst = firstSeq
+	l.activeBytes = 0
+	l.activeRecords = 0
+	l.sinceSync = 0
+	return nil
+}
+
+// Append frames and writes one event, stamping it with the next sequence
+// number (returned). Rotation and the SyncEvery fsync cadence happen here.
+func (l *Log) Append(ev *Event) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("feedback: log closed")
+	}
+	seq := l.nextSeq
+	frame, err := EncodeRecord(seq, ev)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, fmt.Errorf("feedback: append: %w", err)
+	}
+	l.nextSeq++
+	l.activeBytes += int64(len(frame))
+	l.activeRecords++
+	l.sinceSync++
+	if l.sinceSync >= l.opt.SyncEvery {
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		l.sinceSync = 0
+	}
+	if l.activeBytes >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// rotateLocked commits the active segment: fsync, close, record it in the
+// committed list, enforce the retention cap, rewrite the index atomically,
+// open a fresh segment.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.committed = append(l.committed, SegmentInfo{
+		Name: l.activeName, FirstSeq: l.activeFirst,
+		Records: l.activeRecords, Bytes: l.activeBytes,
+	})
+	for len(l.committed) > l.opt.MaxSegments {
+		old := l.committed[0]
+		l.committed = l.committed[1:]
+		if err := os.Remove(filepath.Join(l.dir, old.Name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("feedback: drop segment %s: %w", old.Name, err)
+		}
+	}
+	if err := l.writeIndex(); err != nil {
+		return err
+	}
+	return l.openSegment(l.nextSeq)
+}
+
+// writeIndex commits the segment manifest with the registry's staging
+// discipline: temp file, fsync, rename, directory fsync.
+func (l *Log) writeIndex() error {
+	idx := indexFile{NextSeq: l.nextSeq, Segments: l.committed}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(l.dir, ".index-*")
+	if err != nil {
+		return fmt.Errorf("feedback: stage index: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, IndexFile)); err != nil {
+		return fmt.Errorf("feedback: commit index: %w", err)
+	}
+	return syncDir(l.dir)
+}
+
+func readIndex(dir string) indexFile {
+	var idx indexFile
+	data, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	if err != nil {
+		return idx
+	}
+	_ = json.Unmarshal(data, &idx) // corrupt index = no index; Open rebuilds
+	return idx
+}
+
+// Sync forces the active segment to disk (used at clean shutdown and by
+// tests asserting durability points).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.sinceSync = 0
+	return l.f.Sync()
+}
+
+// Close fsyncs and closes the active segment and rewrites the index.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.writeIndex()
+}
+
+// Stats is a point-in-time view of the log's shape.
+type Stats struct {
+	Segments int    // committed + active
+	Bytes    int64  // total retained bytes
+	Records  int64  // total retained records
+	NextSeq  uint64 // sequence number the next append will get
+}
+
+// Stat reports the log's current shape.
+func (l *Log) Stat() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{Segments: len(l.committed) + 1, NextSeq: l.nextSeq}
+	for _, s := range l.committed {
+		st.Bytes += s.Bytes
+		st.Records += s.Records
+	}
+	st.Bytes += l.activeBytes
+	st.Records += l.activeRecords
+	return st
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	Events  int64
+	Corrupt int64 // records lost to mid-segment corruption
+	// Truncated reports a torn tail on the newest segment — the expected
+	// shape after a crash (or while a writer is appending), not an error.
+	Truncated bool
+	NextSeq   uint64 // 1 + the last sequence number seen
+}
+
+// Replay streams every retained event with seq >= fromSeq, oldest first,
+// through fn. It reads the directory directly, so it works from any process
+// — including concurrently with a live writer, in which case it observes a
+// committed prefix (a partially written tail record reads as truncated,
+// exactly like a crash). Corruption inside a non-newest segment skips the
+// rest of that segment and is counted, never silently absorbed.
+func Replay(dir string, fromSeq uint64, fn func(seq uint64, ev Event) error) (ReplayStats, error) {
+	var st ReplayStats
+	st.NextSeq = 1
+	names, err := segmentNames(dir)
+	if err != nil {
+		return st, err
+	}
+	for i, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return st, fmt.Errorf("feedback: replay %s: %w", name, err)
+		}
+		last := i == len(names)-1
+		for len(data) > 0 {
+			seq, ev, n, derr := DecodeRecord(data)
+			if derr != nil {
+				if last {
+					st.Truncated = true
+				} else {
+					st.Corrupt++
+				}
+				break
+			}
+			data = data[n:]
+			if seq+1 > st.NextSeq {
+				st.NextSeq = seq + 1
+			}
+			if seq < fromSeq {
+				continue
+			}
+			if err := fn(seq, ev); err != nil {
+				return st, err
+			}
+			st.Events++
+		}
+	}
+	return st, nil
+}
+
+// syncDir fsyncs a directory so a rename or file creation in it survives a
+// crash — the same durability discipline as registry.Publish.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("feedback: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("feedback: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// nowMS is the event timestamp source, a hook for tests.
+var nowMS = func() int64 { return time.Now().UnixMilli() }

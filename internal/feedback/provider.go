@@ -1,0 +1,89 @@
+package feedback
+
+import (
+	"fmt"
+
+	"repro/internal/bandit"
+	"repro/internal/diversify"
+	"repro/internal/serve"
+)
+
+// BanditProvider puts the λ bandit on the request path: it wraps the
+// registry provider and serves a configured share of traffic through the
+// policy's chosen diversifier arm instead of the active model version. Arm
+// scorers are built once at construction — one comparable *diversify.Scorer
+// per arm — so the serving coalescer batches bandit traffic per arm exactly
+// like any other version.
+//
+// The bandit split hashes the route key (splitmix64) before the percent
+// comparison, so it is statistically independent of the registry's canary
+// split (raw key % 10000): carving out bandit traffic dilutes canary volume
+// proportionally but never biases which requests the canary sees.
+type BanditProvider struct {
+	base    serve.Provider
+	policy  *bandit.Policy
+	percent float64
+	scorers []serve.Scorer // one per arm, index-aligned with policy.Arms()
+	labels  []string
+}
+
+// NewBanditProvider validates every arm against the diversifier registry and
+// builds the wrapper. percent is the share of traffic (0–100) the bandit
+// serves; 0 returns a provider that always passes through.
+func NewBanditProvider(base serve.Provider, policy *bandit.Policy, percent float64) (*BanditProvider, error) {
+	if percent < 0 || percent > 100 {
+		return nil, fmt.Errorf("feedback: bandit percent %.2f outside [0,100]", percent)
+	}
+	arms := policy.Arms()
+	p := &BanditProvider{
+		base:    base,
+		policy:  policy,
+		percent: percent,
+		scorers: make([]serve.Scorer, len(arms)),
+		labels:  make([]string, len(arms)),
+	}
+	for i, a := range arms {
+		ds, err := diversify.NewScorer(a.Name, a.Lambda)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: arm %s: %w", a.Label(), err)
+		}
+		p.scorers[i] = ds
+		p.labels[i] = a.Label()
+	}
+	return p, nil
+}
+
+// Active implements serve.Provider: the active model is always the base's —
+// the bandit never owns /healthz or warm paths.
+func (p *BanditProvider) Active() serve.Pinned { return p.base.Active() }
+
+// Pick implements serve.Provider. A request in the bandit slice is served by
+// the policy-selected arm over the active version's manifest geometry (the
+// arm is weightless — it re-ranks whatever surface the active model defines);
+// everything else passes through to the base provider, canary split included.
+func (p *BanditProvider) Pick(key uint64) serve.Pinned {
+	if p.percent > 0 && float64(splitmix64(key)%10_000) < p.percent*100 {
+		arm := p.policy.Select(key)
+		pin := p.base.Active()
+		pin.Scorer = p.scorers[arm]
+		pin.Version = p.labels[arm]
+		pin.Canary = false
+		// Arm traffic must not land in the active version's lifecycle
+		// counters (it would dilute the auto-rollback comparison) and never
+		// shadow-scores: the bandit's own feedback loop is its evaluation.
+		pin.Observe = nil
+		pin.ShadowBatch = nil
+		pin.ShadowVersion = ""
+		return pin
+	}
+	return p.base.Pick(key)
+}
+
+// splitmix64 is the splitmix64 finalizer, decorrelating the bandit split
+// from the canary split's raw key % 10000.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,381 @@
+package feedback
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bandit"
+	"repro/internal/clickmodel"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// Lifecycle is the slice of the model lifecycle the trainer drives: list
+// versions, stage one as the canary candidate, promote it. registry.Registry
+// satisfies it in-process; AdminClient satisfies it over the admin HTTP API,
+// so cmd/rapidfeed can drive a running rapidserve from outside the process.
+type Lifecycle interface {
+	Versions() ([]serve.VersionStatus, error)
+	Load(version string) error
+	Promote(version string) error
+}
+
+// TrainerConfig bounds a Trainer. LogDir, ModelRoot and Lifecycle are
+// required; the zero value of every other field falls back to the listed
+// default.
+type TrainerConfig struct {
+	// LogDir is the feedback log directory to replay.
+	LogDir string
+	// ModelRoot is the registry store the trainer publishes into. The newest
+	// committed version's manifest supplies the surface geometry for the
+	// published online-learned version.
+	ModelRoot string
+	// Lifecycle stages and promotes what the trainer publishes.
+	Lifecycle Lifecycle
+	// Policy, when set, supplies arm statistics from the in-process bandit.
+	// nil (the cross-process rapidfeed shape) recovers arm statistics from
+	// the replayed log's Arm/Lambda fields instead — same numbers, read back
+	// from disk.
+	Policy *bandit.Policy
+	// Interval is the re-estimation cadence for Run (default 15s).
+	Interval time.Duration
+	// MinEvents is how many new events must accumulate before a re-estimate
+	// and republish happens (default 200).
+	MinEvents int
+	// MaxLen is the click-model position horizon (default 64).
+	MaxLen int
+	// MinArmPulls gates arm selection: an arm with less evidence cannot be
+	// published (default 50). With no qualifying arm the trainer publishes
+	// DefaultDiversifier@DefaultLambda.
+	MinArmPulls int64
+	// DefaultDiversifier/DefaultLambda are the fallback λ choice before the
+	// bandit has evidence (defaults "mmr" / 0.5).
+	DefaultDiversifier string
+	DefaultLambda      float64
+	// PromoteAfter is the canary traffic (requests served by the candidate)
+	// the trainer waits for before promoting (default 50). The wait is what
+	// arms auto-rollback: a candidate that degrades is demoted by the
+	// registry while the trainer watches, and the trainer then aborts the
+	// promote instead of forcing a bad version active.
+	PromoteAfter int64
+	// PromotePoll and PromoteTimeout bound the canary watch (defaults 250ms
+	// and 60s). On timeout the candidate stays staged — promotion is retried
+	// on the next cycle rather than forced.
+	PromotePoll    time.Duration
+	PromoteTimeout time.Duration
+	// Publish overrides how a manifest becomes an on-disk version; nil uses
+	// registry.PublishDiversifier into ModelRoot. The seam is where a full
+	// neural retrain would plug in: the log stores item ids and clicks, not
+	// feature payloads, so weight retraining stays an offline job (see
+	// DESIGN.md) and the online loop republishes λ choices.
+	Publish func(label string, man serve.Manifest) (string, error)
+	// Registry receives the trainer metrics; nil means a private one.
+	Registry *obs.Registry
+	// Log receives operational messages; nil uses log.Printf.
+	Log func(format string, args ...any)
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 15 * time.Second
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 200
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 64
+	}
+	if c.MinArmPulls <= 0 {
+		c.MinArmPulls = 50
+	}
+	if c.DefaultDiversifier == "" {
+		c.DefaultDiversifier = "mmr"
+	}
+	if c.DefaultLambda <= 0 {
+		c.DefaultLambda = 0.5
+	}
+	if c.PromoteAfter <= 0 {
+		c.PromoteAfter = 50
+	}
+	if c.PromotePoll <= 0 {
+		c.PromotePoll = 250 * time.Millisecond
+	}
+	if c.PromoteTimeout <= 0 {
+		c.PromoteTimeout = 60 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.Printf
+	}
+	return c
+}
+
+// armTally is per-arm evidence recovered from replayed log events.
+type armTally struct {
+	arm     bandit.Arm
+	pulls   int64
+	rewards int64
+}
+
+// Trainer is the re-estimate/republish driver: replay new log events into
+// the incremental click model, and once enough evidence accumulates, publish
+// the bandit's best λ as a canaried diversifier version and walk it through
+// the registry lifecycle (load → canary watch → promote). Everything an
+// online-learned version serves has passed warm-up and canary exactly like
+// an offline-trained one.
+type Trainer struct {
+	cfg     TrainerConfig
+	inc     *clickmodel.Incremental
+	met     *metrics
+	cursor  uint64 // next log seq to replay
+	pending int    // events since the last re-estimate
+	armsSum map[string]*armTally
+	pubSeq  int
+}
+
+// NewTrainer validates the config and builds a trainer with an empty model.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LogDir == "" || cfg.ModelRoot == "" || cfg.Lifecycle == nil {
+		return nil, fmt.Errorf("feedback: trainer needs LogDir, ModelRoot and Lifecycle")
+	}
+	return &Trainer{
+		cfg:     cfg,
+		inc:     clickmodel.NewIncremental(cfg.MaxLen),
+		met:     newMetrics(cfg.Registry),
+		cursor:  1,
+		armsSum: make(map[string]*armTally),
+	}, nil
+}
+
+// Incremental exposes the trainer's click model (tests and rapidfeed -dump
+// diagnostics read it).
+func (t *Trainer) Incremental() *clickmodel.Incremental { return t.inc }
+
+// Run re-estimates on the configured cadence until ctx is canceled.
+func (t *Trainer) Run(ctx context.Context) error {
+	tick := time.NewTicker(t.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if err := t.Step(ctx); err != nil {
+				t.cfg.Log("feedback: trainer step: %v", err)
+			}
+		}
+	}
+}
+
+// Step runs one cycle: replay, and if MinEvents accumulated, re-estimate and
+// republish. Exported so tests and the smoke drive cycles deterministically.
+func (t *Trainer) Step(ctx context.Context) error {
+	n, err := t.replayNew()
+	if err != nil {
+		return err
+	}
+	t.pending += n
+	if t.pending < t.cfg.MinEvents {
+		return nil
+	}
+	est := t.inc.Estimate(1, nil)
+	t.met.reestimates.Inc()
+	t.pending = 0
+	arm := t.bestArm()
+	label, err := t.publish(arm, est)
+	if err != nil {
+		return err
+	}
+	t.met.published.Inc()
+	t.cfg.Log("feedback: published %s (arm %s, %d sessions, %d clicks)",
+		label, arm.Label(), t.inc.Sessions(), t.inc.Clicks())
+	return t.deploy(ctx, label)
+}
+
+// replayNew folds log events at or past the cursor into the click model and
+// the arm tallies.
+func (t *Trainer) replayNew() (int, error) {
+	n := 0
+	st, err := Replay(t.cfg.LogDir, t.cursor, func(seq uint64, ev Event) error {
+		t.inc.Add(ev.Session())
+		if ev.Arm >= 0 {
+			if arm, ok := bandit.ParseArmLabel(ev.Version); ok {
+				tal := t.armsSum[ev.Version]
+				if tal == nil {
+					tal = &armTally{arm: arm}
+					t.armsSum[ev.Version] = tal
+				}
+				tal.pulls++
+				if ev.Clicked() {
+					tal.rewards++
+				}
+			}
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if st.NextSeq > t.cursor {
+		t.cursor = st.NextSeq
+	}
+	return n, nil
+}
+
+// bestArm picks the λ to publish: the in-process policy's best arm when one
+// is wired, else the best replayed tally, else the configured default.
+func (t *Trainer) bestArm() bandit.Arm {
+	if t.cfg.Policy != nil {
+		if a, ok := t.cfg.Policy.Best(t.cfg.MinArmPulls); ok {
+			return a
+		}
+	} else {
+		var best *armTally
+		var bestMean float64
+		for _, tal := range t.armsSum {
+			if tal.pulls < t.cfg.MinArmPulls {
+				continue
+			}
+			if m := float64(tal.rewards) / float64(tal.pulls); best == nil || m > bestMean {
+				best, bestMean = tal, m
+			}
+		}
+		if best != nil {
+			return best.arm
+		}
+	}
+	return bandit.Arm{Name: t.cfg.DefaultDiversifier, Lambda: t.cfg.DefaultLambda}
+}
+
+// publish commits the online-learned version: the newest on-disk manifest
+// supplies the surface geometry, the arm supplies the diversifier and λ, and
+// the estimated DCM summary lands in the manifest metrics for operator
+// forensics. Labels are "div-fb-<n>" — they sort with the other diversifier
+// versions and read as feedback-derived at a glance.
+func (t *Trainer) publish(arm bandit.Arm, est *clickmodel.Estimated) (string, error) {
+	versions, err := registry.Scan(t.cfg.ModelRoot)
+	if err != nil {
+		return "", err
+	}
+	if len(versions) == 0 {
+		return "", fmt.Errorf("feedback: no versions in %s to copy surface geometry from", t.cfg.ModelRoot)
+	}
+	base, err := serve.ReadManifest(registry.ModelPath(t.cfg.ModelRoot, versions[len(versions)-1]))
+	if err != nil {
+		return "", err
+	}
+	man := serve.Manifest{
+		Dataset:           base.Dataset,
+		Lambda:            base.Lambda,
+		Config:            base.Config,
+		Diversifier:       arm.Name,
+		DiversifierLambda: arm.Lambda,
+		Metrics: map[string]float64{
+			"feedback_sessions": float64(t.inc.Sessions()),
+			"feedback_clicks":   float64(t.inc.Clicks()),
+			"feedback_eps_p0":   firstEps(est),
+			"feedback_lambda":   arm.Lambda,
+		},
+	}
+	publish := t.cfg.Publish
+	if publish == nil {
+		publish = func(label string, man serve.Manifest) (string, error) {
+			return registry.PublishDiversifier(t.cfg.ModelRoot, label, man)
+		}
+	}
+	exists := make(map[string]bool, len(versions))
+	for _, v := range versions {
+		exists[v] = true
+	}
+	for {
+		t.pubSeq++
+		label := fmt.Sprintf("div-fb-%d", t.pubSeq)
+		if exists[label] {
+			continue // survive restarts: skip labels an earlier run committed
+		}
+		return publish(label, man)
+	}
+}
+
+func firstEps(est *clickmodel.Estimated) float64 {
+	if len(est.Eps) > 0 {
+		return est.Eps[0]
+	}
+	return 0
+}
+
+// deploy walks the published version through the lifecycle: stage it as the
+// canary candidate, wait for PromoteAfter canary requests, promote. If the
+// candidate disappears while watched, auto-rollback (or an operator) killed
+// it — the trainer logs and moves on; never promote over a rollback.
+func (t *Trainer) deploy(ctx context.Context, label string) error {
+	if err := t.cfg.Lifecycle.Load(label); err != nil {
+		return fmt.Errorf("feedback: stage %s: %w", label, err)
+	}
+	t.cfg.Log("feedback: staged %s as canary candidate", label)
+	deadline := time.NewTimer(t.cfg.PromoteTimeout)
+	defer deadline.Stop()
+	poll := time.NewTicker(t.cfg.PromotePoll)
+	defer poll.Stop()
+	for {
+		vs, err := t.cfg.Lifecycle.Versions()
+		if err != nil {
+			return err
+		}
+		var cand *serve.VersionStatus
+		for i := range vs {
+			if vs[i].Version == label {
+				cand = &vs[i]
+				break
+			}
+		}
+		switch {
+		case cand == nil || cand.State == "available":
+			t.cfg.Log("feedback: candidate %s was rolled back during canary; not promoting", label)
+			return nil
+		case cand.State == "active":
+			return nil // someone promoted it for us
+		case cand.Requests >= t.cfg.PromoteAfter:
+			if err := t.cfg.Lifecycle.Promote(label); err != nil {
+				return fmt.Errorf("feedback: promote %s: %w", label, err)
+			}
+			t.met.promotes.Inc()
+			t.cfg.Log("feedback: promoted %s after %d canary requests (%d degraded)",
+				label, cand.Requests, cand.Degraded)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			t.cfg.Log("feedback: canary watch for %s timed out at %d/%d requests; leaving it staged",
+				label, candRequests(vs, label), t.cfg.PromoteAfter)
+			return nil
+		case <-poll.C:
+		}
+	}
+}
+
+func candRequests(vs []serve.VersionStatus, label string) int64 {
+	for _, v := range vs {
+		if v.Version == label {
+			return v.Requests
+		}
+	}
+	return 0
+}
+
+// ReplaySessions replays a whole log into batch click-model sessions — the
+// reference input for the incremental-vs-batch equivalence check.
+func ReplaySessions(dir string) ([]clickmodel.Session, ReplayStats, error) {
+	var out []clickmodel.Session
+	st, err := Replay(dir, 0, func(_ uint64, ev Event) error {
+		out = append(out, ev.Session())
+		return nil
+	})
+	return out, st, err
+}

@@ -62,6 +62,12 @@ func TestV1RerankAliasIdenticalBodies(t *testing.T) {
 			t.Fatalf("%s: %v", path, err)
 		}
 		delete(m, "latency_ms")
+		// request_id is unique per served response by contract; the alias
+		// guarantee covers everything else about the body.
+		if id, ok := m["request_id"].(string); !ok || id == "" {
+			t.Fatalf("%s: missing request_id", path)
+		}
+		delete(m, "request_id")
 		return m
 	}
 	legacy := decode("/rerank")

@@ -32,6 +32,8 @@ package serve
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -156,6 +158,11 @@ type Config struct {
 	// Server.FlushStateCache to the model lifecycle (Registry.SetOnSwap) so a
 	// promote or rollback can never serve a stale state.
 	StateCacheBytes int64
+	// Feedback, when set, mounts POST /v1/feedback backed by this sink and
+	// correlates every rerank response's request_id to its served (route,
+	// version) pair via Track. nil (the default) exposes no feedback surface;
+	// responses still carry request ids either way.
+	Feedback FeedbackSink
 }
 
 func (c Config) withDefaults() Config {
@@ -233,6 +240,9 @@ type serveMetrics struct {
 	divItems    *obs.CounterVec   // candidates re-ranked per diversifier
 	divLatency  *obs.HistogramVec // batch wall-clock per diversifier
 
+	feedback   *obs.CounterVec // /v1/feedback requests by terminal status
+	feedbackOK *obs.Counter    // cached feedback.With("accepted")
+
 	cacheHits          *obs.Counter // encoded user-state cache
 	cacheMisses        *obs.Counter
 	cacheEvictions     *obs.Counter
@@ -281,6 +291,11 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 			"Candidates re-ranked by a classic diversifier version, by diversifier name.", "diversifier"),
 		divLatency: r.HistogramVec("rapid_diversifier_latency_seconds",
 			"Scoring wall-clock of batches served by a classic diversifier version, by diversifier name.", "diversifier", nil),
+		// The feedback family is registered even without a sink so dashboards
+		// can tell "feedback surface off" from "metrics missing" — the same
+		// eager-visibility rule as the cache family below.
+		feedback: r.CounterVec("rapid_feedback_requests_total",
+			"POST /v1/feedback requests by terminal status: accepted, bad_input, shed, error.", "status"),
 		// The state-cache family is registered even with the cache disabled so
 		// dashboards can tell "cache off" (all-zero series) from "metrics
 		// missing" — the same eager-visibility rule as the shed series below.
@@ -304,6 +319,8 @@ func newServeMetrics(r *obs.Registry) *serveMetrics {
 	m.shedBack = m.shed.With(ShedBackpressure)
 	m.shedDrain = m.shed.With(ShedDraining)
 	m.responsesOK = m.responses.With("ok")
+	m.feedbackOK = m.feedback.With("accepted")
+	m.feedback.With("shed")
 	return m
 }
 
@@ -349,6 +366,8 @@ type Server struct {
 	met        *serveMetrics
 	batch      *coalescer
 	stateCache *StateCache // nil when Config.StateCacheBytes == 0
+	idPrefix   string      // per-process request-id prefix
+	reqSeq     atomic.Uint64
 
 	// Faults is the chaos-testing seam; nil in production.
 	Faults FaultInjector
@@ -378,6 +397,7 @@ func NewProviderServer(p Provider, cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		reg:      reg,
 		met:      newServeMetrics(reg),
+		idPrefix: newIDPrefix(),
 		Log:      log.Printf,
 	}
 	s.batch = newCoalescer(s)
@@ -392,6 +412,26 @@ func NewProviderServer(p Provider, cfg Config) *Server {
 // Registry exposes the server's metric registry so a binary can add its own
 // metrics to the same /metrics namespace.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// newIDPrefix draws the per-process request-id prefix. Randomness makes ids
+// unique across replicas and restarts without coordination; crypto/rand
+// failure (no entropy device) falls back to a pid-free constant — ids are
+// then unique only within the process, which the correlation table is.
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "local"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newRequestID issues the response's request_id: process prefix + sequence.
+// Cheap (one atomic add, one small allocation) because every response pays
+// it; the id is opaque to clients — its only contract is echoing it back in
+// feedback events.
+func (s *Server) newRequestID() string {
+	return s.idPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 36)
+}
 
 // Stats snapshots the operational counters from the metric registry. Each
 // field is one atomic load; the struct is a consistent-enough scrape (see
@@ -417,6 +457,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /rerank", s.handleRerank)
 	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
 	mux.HandleFunc("POST /v1/rerank:batch", s.handleRerankBatch)
+	if s.cfg.Feedback != nil {
+		mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -558,6 +601,13 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	resp.ModelVersion = pin.Version
 	resp.Canary = pin.Canary
 	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1000
+	// The request id is issued only for responses that actually reach the
+	// client (canceled paths return above), and tracked just before encoding
+	// so a feedback event can never race ahead of its correlation entry.
+	resp.RequestID = s.newRequestID()
+	if s.cfg.Feedback != nil {
+		s.cfg.Feedback.Track(resp.RequestID, route, pin.Version)
+	}
 	if pin.Observe != nil {
 		pin.Observe(outcome, time.Since(start))
 	}
@@ -730,6 +780,12 @@ func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 		resps[i].ModelVersion = pins[i].Version
 		resps[i].Canary = pins[i].Canary
 		resps[i].LatencyMS = ms
+		// Each batch item gets its own request id: feedback joins per
+		// impression, and an envelope is just transport.
+		resps[i].RequestID = s.newRequestID()
+		if s.cfg.Feedback != nil {
+			s.cfg.Feedback.Track(resps[i].RequestID, routes[i], pins[i].Version)
+		}
 		if pins[i].Observe != nil {
 			pins[i].Observe(outcomes[i], elapsed)
 		}

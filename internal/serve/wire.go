@@ -46,6 +46,11 @@ type RerankResponse struct {
 	ModelVersion string  `json:"model_version,omitempty"`
 	Canary       bool    `json:"canary,omitempty"`
 	LatencyMS    float64 `json:"latency_ms"`
+	// RequestID uniquely labels this served response; clients echo it in
+	// POST /v1/feedback events so impressions and clicks join
+	// deterministically. Per item inside a batch envelope. Empty only on
+	// per-item validation errors (Error set), which served no ranking.
+	RequestID string `json:"request_id,omitempty"`
 	// Error reports a per-item validation failure inside a batch envelope
 	// (the single-item routes answer 4xx instead). An item with Error set
 	// has no ranking.

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Feedback-loop smoke test: the full online learning loop through the real
+# binaries, end to end —
+#
+#   1. train a tiny model, publish it, serve it in registry mode with the
+#      feedback log and a bandit λ slice enabled,
+#   2. drive load with DCM-simulated clicks POSTed to /v1/feedback
+#      (zero dropped requests) and assert the rapid_feedback_* /
+#      rapid_bandit_* series,
+#   3. kill -9 the server mid-traffic and prove crash consistency: the
+#      recovered log replays a byte-identical prefix of the log after
+#      restart + more traffic,
+#   4. run the rapidfeed trainer against the live admin API: it replays the
+#      log, re-estimates the click model incrementally (verified ≡ batch
+#      MLE), publishes the best bandit arm as a div-fb-* version, canaries
+#      it and promotes it — the div-*/v* transition shows up in
+#      /admin/models and /metrics.
+#
+# Run from the repo root: ./scripts/feedback_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+STORE="$WORK/models"
+FLOG="$WORK/feedback"
+ADDR="127.0.0.1:18090"
+TOKEN="smoke-admin-token"
+
+echo "== build"
+go build -o "$WORK/rapidtrain" ./cmd/rapidtrain
+go build -o "$WORK/rapidserve" ./cmd/rapidserve
+go build -o "$WORK/rapidload" ./cmd/rapidload
+go build -o "$WORK/rapidfeed" ./cmd/rapidfeed
+
+echo "== train and publish a model version"
+"$WORK/rapidtrain" -dataset taobao -scale 0.02 -seed 1 -out "$WORK/m1.gob" -publish "$STORE" 2>&1 | tail -2
+MANIFEST_JSON="$(find "$STORE" -name '*.json' ! -name 'index.json' | head -1)"
+[ -n "$MANIFEST_JSON" ] || { echo "FAIL: no manifest in $STORE"; exit 1; }
+
+serve() {
+    "$WORK/rapidserve" -model-root "$STORE" -addr "$ADDR" -admin-token "$TOKEN" \
+        -canary-pct 50 \
+        -feedback-log "$FLOG" -bandit-pct 50 -bandit-arms 'mmr@0.2,mmr@0.8' \
+        -bandit-segments 4 &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        curl -fs "http://$ADDR/readyz" >/dev/null 2>&1 && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: rapidserve died on startup"; exit 1; }
+        sleep 0.2
+    done
+    echo "FAIL: server never became ready"; exit 1
+}
+metric() { awk -v m="$1" '$1 == m {print $2}' <<<"$2"; }
+ge1() { awk -v v="${1:-0}" 'BEGIN { exit !(v >= 1) }'; }
+
+echo "== serve with feedback log and bandit slice"
+serve
+
+echo "== load with simulated clicks (zero dropped requests)"
+"$WORK/rapidload" -target "http://$ADDR" -manifest "$MANIFEST_JSON" \
+    -rps 150 -duration 4s -users 200 -feedback-pct 80 -max-error-rate 0 \
+    || { echo "FAIL: load with feedback dropped requests"; exit 1; }
+
+echo "== feedback and bandit series on /metrics"
+METRICS="$(curl -fs "http://$ADDR/metrics")"
+ge1 "$(metric 'rapid_feedback_requests_total{status="accepted"}' "$METRICS")" \
+    || { echo "FAIL: no accepted feedback requests counted"; exit 1; }
+ge1 "$(metric 'rapid_feedback_events_total{result="ok"}' "$METRICS")" \
+    || { echo "FAIL: no correlated feedback events ingested"; exit 1; }
+ge1 "$(metric rapid_feedback_appended_total "$METRICS")" \
+    || { echo "FAIL: no events appended to the feedback log"; exit 1; }
+ge1 "$(metric rapid_feedback_log_records "$METRICS")" \
+    || { echo "FAIL: feedback log stats not exported"; exit 1; }
+ge1 "$(metric rapid_bandit_updates_total "$METRICS")" \
+    || { echo "FAIL: bandit policy received no reward updates"; exit 1; }
+grep -q 'rapid_bandit_served_total{arm="bandit-mmr@' <<<"$METRICS" \
+    || { echo "FAIL: no bandit arm served traffic"; exit 1; }
+
+echo "== kill -9 mid-traffic"
+"$WORK/rapidload" -target "http://$ADDR" -manifest "$MANIFEST_JSON" \
+    -rps 150 -duration 3s -users 200 -feedback-pct 80 >/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+wait "$LOAD_PID" 2>/dev/null || true
+
+echo "== dump the recovered log"
+"$WORK/rapidfeed" -log "$FLOG" -dump >"$WORK/d1.txt"
+D1_EVENTS="$(wc -l <"$WORK/d1.txt")"
+ge1 "$D1_EVENTS" || { echo "FAIL: recovered log replayed no events"; exit 1; }
+echo "   $D1_EVENTS events survived the crash"
+
+echo "== restart over the recovered log, more traffic + trainer"
+serve
+"$WORK/rapidfeed" -log "$FLOG" -model-root "$STORE" -admin "http://$ADDR" \
+    -admin-token "$TOKEN" -once \
+    -min-events 50 -min-arm-pulls 20 -promote-after 10 -promote-timeout 45s \
+    2>&1 | sed 's/^/   trainer: /' &
+FEED_PID=$!
+"$WORK/rapidload" -target "http://$ADDR" -manifest "$MANIFEST_JSON" \
+    -rps 150 -duration 10s -users 200 -feedback-pct 50 -max-error-rate 0 \
+    || { echo "FAIL: post-restart load dropped requests"; exit 1; }
+wait "$FEED_PID" || { echo "FAIL: rapidfeed trainer step failed"; exit 1; }
+
+echo "== online-learned version promoted through canary"
+LIST="$(curl -fs -H "Authorization: Bearer $TOKEN" "http://$ADDR/admin/models")"
+echo "$LIST"
+grep -q '"version":"div-fb-1","state":"active"' <<<"$LIST" \
+    || { echo "FAIL: div-fb-1 is not active after the trainer run"; exit 1; }
+grep -q '"state":"previous"' <<<"$LIST" \
+    || { echo "FAIL: the trained model version was not kept as rollback target"; exit 1; }
+METRICS="$(curl -fs "http://$ADDR/metrics")"
+grep -q 'rapid_model_requests_total{version="div-fb-1"}' <<<"$METRICS" \
+    || { echo "FAIL: no per-version request series for div-fb-1"; exit 1; }
+
+echo "== byte-identical log prefix across the crash"
+kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+"$WORK/rapidfeed" -log "$FLOG" -dump >"$WORK/d2.txt"
+head -c "$(wc -c <"$WORK/d1.txt")" "$WORK/d2.txt" | cmp -s - "$WORK/d1.txt" \
+    || { echo "FAIL: pre-crash replay is not a byte prefix of the post-crash log"; exit 1; }
+D2_EVENTS="$(wc -l <"$WORK/d2.txt")"
+[ "$D2_EVENTS" -gt "$D1_EVENTS" ] \
+    || { echo "FAIL: no new events landed after the restart"; exit 1; }
+
+echo "== incremental re-estimate matches the batch MLE on the full log"
+"$WORK/rapidfeed" -log "$FLOG" -estimate -check-batch >/dev/null \
+    || { echo "FAIL: incremental and batch estimates diverge"; exit 1; }
+
+echo "PASS: feedback loop smoke"
