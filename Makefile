@@ -1,7 +1,7 @@
 # Repo-wide checks. `make check` is the CI gate: vet + formatting + tests.
 GO ?= go
 
-.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke diversify-smoke feedback-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke bench-pr9
+.PHONY: check build vet fmt test test-short race fuzz smoke chaos-smoke diversify-smoke feedback-smoke bench bench-json bench-batch bench-batch-smoke bench-pr7 bench-pr7-smoke bench-pr9 bench-pr10 bench-pr10-smoke
 
 check: vet fmt test
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzDiversifierAdapter -fuzztime=$(FUZZTIME) ./internal/diversify
 	$(GO) test -run=^$$ -fuzz=FuzzFeedbackEvent -fuzztime=$(FUZZTIME) ./internal/feedback
+	$(GO) test -run=^$$ -fuzz=FuzzBinaryFrame -fuzztime=$(FUZZTIME) ./internal/serve/binproto
 
 # Model-lifecycle smoke: trains two tiny models, publishes them into a
 # versioned store, serves it with rapidserve -model-root and drives a
@@ -114,3 +115,15 @@ bench-pr7-smoke:
 # is not sublinear.
 bench-pr9:
 	$(GO) run ./cmd/rapidfeed -regretjson BENCH_PR9.json
+
+# Frontend comparison snapshot: the JSON and binary codecs plus full
+# round trips through both frontends against one shared engine, with
+# bitwise score parity asserted before timing starts.
+bench-pr10:
+	$(GO) run ./cmd/rapidbench -pr10json BENCH_PR10.json
+
+# CI gate: same run at one repetition, failing unless the binary path
+# allocates strictly less per request than JSON (codec and round trip) and
+# score parity holds.
+bench-pr10-smoke:
+	$(GO) run ./cmd/rapidbench -pr10json BENCH_PR10.json -smoke -check

@@ -24,6 +24,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/benchsuite"
 	"repro/internal/clickmodel"
 	"repro/internal/serve"
+	"repro/internal/serve/binproto"
 )
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 		scenario  = flag.String("scenario", "default", "scenario name for -benchjson")
 		maxErrRat = flag.Float64("max-error-rate", 1, "exit non-zero if errors/requests exceeds this fraction")
 		feedback  = flag.Float64("feedback-pct", 0, "percent of OK responses followed by a DCM-simulated click event POSTed to /v1/feedback")
+		binary    = flag.String("binary", "", "fire the fleet-internal binary protocol at this TCP address instead of HTTP POST /v1/rerank (scores are bitwise-identical)")
 	)
 	flag.Parse()
 	if err := run(loadConfig{
@@ -66,7 +69,7 @@ func main() {
 		rps: *rps, duration: *duration, users: *users, zipfS: *zipfS,
 		timeout: *timeout, seed: *seed, repeatUserPct: *repeat,
 		benchJSON: *benchJSON, scenario: *scenario, maxErrRate: *maxErrRat,
-		feedbackPct: *feedback,
+		feedbackPct: *feedback, binaryAddr: *binary,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "rapidload: %v\n", err)
 		os.Exit(1)
@@ -86,6 +89,7 @@ type loadConfig struct {
 	benchJSON, scenario               string
 	maxErrRate                        float64
 	feedbackPct                       float64
+	binaryAddr                        string
 }
 
 // outcome tallies terminal request results under one mutex with the latency
@@ -127,9 +131,17 @@ func run(cfg loadConfig) error {
 	if cfg.feedbackPct < 0 || cfg.feedbackPct > 100 {
 		return fmt.Errorf("feedback-pct must be in [0,100]")
 	}
+	if cfg.binaryAddr != "" && cfg.feedbackPct > 0 {
+		return fmt.Errorf("-feedback-pct requires the HTTP surface; drop it or drop -binary")
+	}
 
 	bodies := newBodyCache(cfg)
 	sim := newClickSim(cfg, bodies)
+	var pool *binPool
+	if cfg.binaryAddr != "" {
+		pool = &binPool{addr: cfg.binaryAddr}
+		defer pool.closeAll()
+	}
 	rng := rand.New(rand.NewSource(cfg.seed))
 	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.users-1))
 	client := &http.Client{Timeout: cfg.timeout}
@@ -142,8 +154,12 @@ func run(cfg loadConfig) error {
 	deadline := time.NewTimer(cfg.duration)
 	defer deadline.Stop()
 
+	label := cfg.target
+	if cfg.binaryAddr != "" {
+		label = "binary://" + cfg.binaryAddr
+	}
 	fmt.Fprintf(os.Stderr, "rapidload: %s at %.0f rps for %v (%d users, zipf %.2f, repeat %.0f%%)\n",
-		cfg.target, cfg.rps, cfg.duration, cfg.users, cfg.zipfS, cfg.repeatUserPct)
+		label, cfg.rps, cfg.duration, cfg.users, cfg.zipfS, cfg.repeatUserPct)
 	var issued []int
 	start := time.Now()
 loop:
@@ -167,6 +183,10 @@ loop:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				if pool != nil {
+					fireBinary(pool, bodies.request(user), cfg.timeout, &res)
+					return
+				}
 				fire(client, cfg.target, user, bodies.get(user), &res, sim)
 			}()
 		}
@@ -252,6 +272,79 @@ func fire(client *http.Client, target string, user int, body []byte, res *outcom
 		res.add("shed", lat)
 	default:
 		res.add("error", lat)
+	}
+}
+
+// binPool reuses binary-protocol connections across the open-loop arrivals:
+// each Client serializes its calls on one connection, so concurrency is a
+// connection per in-flight request, parked here between uses.
+type binPool struct {
+	addr string
+	mu   sync.Mutex
+	free []*binproto.Client
+}
+
+func (p *binPool) get() (*binproto.Client, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return binproto.Dial(p.addr)
+}
+
+func (p *binPool) put(c *binproto.Client) {
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+func (p *binPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.free {
+		c.Close()
+	}
+	p.free = nil
+}
+
+// fireBinary sends one request over the binary protocol and classifies the
+// outcome exactly like the HTTP path: engine error frames map shed codes to
+// "shed", transport failures retire the connection.
+func fireBinary(pool *binPool, req *serve.RerankRequest, timeout time.Duration, res *outcome) {
+	start := time.Now()
+	c, err := pool.get()
+	if err != nil {
+		res.add("error", 0)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	rr, err := c.Rerank(ctx, req)
+	lat := time.Since(start)
+	if err != nil {
+		var re *binproto.RemoteError
+		if errors.As(err, &re) {
+			pool.put(c) // protocol-level error: the connection stays usable
+			if re.Retryable() {
+				res.add("shed", lat)
+			} else {
+				res.add("error", lat)
+			}
+			return
+		}
+		c.Close()
+		res.add("error", lat)
+		return
+	}
+	pool.put(c)
+	if rr.Degraded {
+		res.add("degraded", lat)
+	} else {
+		res.add("ok", lat)
 	}
 }
 
@@ -355,11 +448,13 @@ type bodyCache struct {
 	cfg    loadConfig
 	mu     sync.Mutex
 	by     map[int][]byte
-	scores map[int]float64 // item id → init_score, for the click simulator
+	reqs   map[int]*serve.RerankRequest // decoded form, for the binary path
+	scores map[int]float64              // item id → init_score, for the click simulator
 }
 
 func newBodyCache(cfg loadConfig) *bodyCache {
-	return &bodyCache{cfg: cfg, by: make(map[int][]byte), scores: make(map[int]float64)}
+	return &bodyCache{cfg: cfg, by: make(map[int][]byte),
+		reqs: make(map[int]*serve.RerankRequest), scores: make(map[int]float64)}
 }
 
 // initScore recalls the init_score a generated item was sent with; the click
@@ -383,6 +478,18 @@ func (c *bodyCache) get(user int) []byte {
 	b := c.build(user)
 	c.by[user] = b
 	return b
+}
+
+// request returns user's deterministic request in decoded form — the same
+// bytes get(user) serializes, for the binary protocol path.
+func (c *bodyCache) request(user int) *serve.RerankRequest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.reqs[user]; ok {
+		return r
+	}
+	c.build(user)
+	return c.reqs[user]
 }
 
 func (c *bodyCache) build(user int) []byte {
@@ -419,6 +526,7 @@ func (c *bodyCache) build(user int) []byte {
 		c.scores[it.ID] = it.InitScore
 		req.Items = append(req.Items, it)
 	}
+	c.reqs[user] = &req
 	b, err := json.Marshal(&req)
 	if err != nil {
 		panic(err) // static shape; cannot fail

@@ -68,6 +68,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"os/signal"
 	"sync"
@@ -78,6 +79,7 @@ import (
 	"repro/internal/diversify"
 	"repro/internal/feedback"
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/rerank"
 	"repro/internal/serve"
@@ -102,6 +104,12 @@ func main() {
 		batchWorkers = flag.Int("batch-workers", 0, "scoring worker goroutines draining batches (0 = max(2, GOMAXPROCS))")
 		matWorkers   = flag.Int("mat-workers", 1, "goroutines per large GEMM in the matrix kernels (1 = serial; 0 = GOMAXPROCS)")
 		stateCacheMB = flag.Int64("state-cache-mb", 64, "memory budget in MiB for the encoded user-state cache (repeat-user fast path; 0 disables)")
+		binaryAddr   = flag.String("binary-addr", "", "additionally serve the fleet-internal binary protocol on this TCP address (same engine and models as HTTP)")
+
+		tenantRoot        = flag.String("tenant-root", "", "multi-tenant model store root (one single-tenant version store per subdirectory); requests may then name a tenant")
+		tenantBudgetMB    = flag.Int64("tenant-budget-mb", 512, "resident-tenant memory budget in MiB; past it least-recently-used tenants are evicted (0 = unlimited)")
+		tenantMaxResident = flag.Int("tenant-max-resident", 0, "max resident tenants regardless of size (0 = unlimited)")
+		tenantMaxInflight = flag.Int("tenant-max-inflight", 0, "per-tenant concurrent rerank admission quota; saturation sheds with reason tenant_quota (0 = no quota)")
 
 		feedbackLog     = flag.String("feedback-log", "", "directory for the append-only feedback event log; mounts POST /v1/feedback (registry mode)")
 		feedbackQueue   = flag.Int("feedback-queue", 1024, "bounded feedback ingest queue; a full queue sheds events with 429")
@@ -141,6 +149,37 @@ func main() {
 			MaxWait:  *batchWait,
 			Workers:  *batchWorkers,
 		},
+	}
+	if *binaryAddr != "" {
+		ln, err := net.Listen("tcp", *binaryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidserve: binary listener: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.BinaryListener = ln
+		log.Printf("rapidserve: binary protocol on %s", ln.Addr())
+	}
+	if *tenantRoot != "" {
+		// Tenancy shares one metrics namespace across the engine, the tenant
+		// store and (in registry mode) the lifecycle layer.
+		if cfg.Registry == nil {
+			cfg.Registry = obs.NewRegistry()
+		}
+		multi, err := registry.NewMulti(registry.MultiConfig{
+			Root:             *tenantRoot,
+			MaxResidentBytes: *tenantBudgetMB << 20,
+			MaxResident:      *tenantMaxResident,
+			Registry:         cfg.Registry,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rapidserve: tenant store: %v\n", err)
+			os.Exit(1)
+		}
+		defer multi.Close()
+		cfg.Tenants = multi
+		cfg.TenantMaxInFlight = *tenantMaxInflight
+		log.Printf("rapidserve: multi-tenant store at %s (budget %d MiB, max resident %d, per-tenant inflight %d)",
+			*tenantRoot, *tenantBudgetMB, *tenantMaxResident, *tenantMaxInflight)
 	}
 	faults := chaosHooks(*chaosLatency, *chaosLatRate, *chaosErrRate, *chaosSeed)
 	fb := feedbackOpts{
@@ -314,6 +353,7 @@ func runRegistry(ctx context.Context, root, addr string, cfg serve.Config, canar
 		Root:          root,
 		CanaryPercent: canaryPct,
 		Shadow:        shadow,
+		Registry:      cfg.Registry,
 	})
 	if err != nil {
 		return err

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -12,7 +12,7 @@ import (
 )
 
 // BatchConfig bounds the micro-batching coalescer that sits between the
-// request handlers and the scorers. Concurrent in-flight requests pinned to
+// request frontends and the scorers. Concurrent in-flight requests pinned to
 // the same (scorer, version) are gathered into one ScoreBatch call, which
 // amortizes the recurrence GEMMs that dominate inference cost.
 type BatchConfig struct {
@@ -33,14 +33,14 @@ type BatchConfig struct {
 // worker's delivery never blocks on a departed waiter; ownsSlot marks jobs
 // whose MaxInFlight slot must be released when scoring truly ends (single
 // requests own one slot each; batch-envelope items share the envelope's
-// slot, which the envelope handler releases itself).
+// slot, which the envelope path releases itself).
 type scoreJob struct {
 	ctx      context.Context
 	inst     *rerank.Instance
 	pin      Pinned
 	done     chan scoreOutcome
 	ownsSlot bool
-	// key identifies this request's encoded user state in the server's state
+	// key identifies this request's encoded user state in the engine's state
 	// cache; hasKey is set only when the cache is enabled and the pinned
 	// scorer can consume states (so workers never hash or look up in vain).
 	key    StateKey
@@ -75,12 +75,12 @@ type pendingBatch struct {
 }
 
 // coalescer gathers in-flight scoring jobs into batches and hands them to a
-// worker pool. The Server owns exactly one coalescer for its whole life;
-// workers start lazily on first submission and stop when Serve's drain
-// calls close. Handlers used without Serve (httptest) leave the bounded
+// worker pool. The Engine owns exactly one coalescer for its whole life;
+// workers start lazily on first submission and stop when Close is called.
+// An engine used without Close (short-lived tests) leaves the bounded
 // worker pool parked, which is harmless.
 type coalescer struct {
-	s        *Server
+	e        *Engine
 	dispatch chan []*scoreJob // nil element = worker stop sentinel
 
 	mu      sync.Mutex
@@ -91,10 +91,10 @@ type coalescer struct {
 	wg      sync.WaitGroup
 }
 
-func newCoalescer(s *Server) *coalescer {
-	buf := s.cfg.MaxInFlight + 4*s.cfg.Batch.Workers + 16
+func newCoalescer(e *Engine) *coalescer {
+	buf := e.cfg.MaxInFlight + 4*e.cfg.Batch.Workers + 16
 	return &coalescer{
-		s:        s,
+		e:        e,
 		pending:  make(map[batchKey]*pendingBatch),
 		dispatch: make(chan []*scoreJob, buf),
 	}
@@ -102,7 +102,7 @@ func newCoalescer(s *Server) *coalescer {
 
 func (c *coalescer) start() {
 	c.started.Do(func() {
-		for i := 0; i < c.s.cfg.Batch.Workers; i++ {
+		for i := 0; i < c.e.cfg.Batch.Workers; i++ {
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
@@ -110,7 +110,7 @@ func (c *coalescer) start() {
 					if jobs == nil {
 						return
 					}
-					c.s.runBatch(jobs)
+					c.e.runBatch(jobs)
 				}
 			}()
 		}
@@ -118,7 +118,7 @@ func (c *coalescer) start() {
 }
 
 // submit enqueues one single-request job (which owns its MaxInFlight slot)
-// and returns its result channel. When the server is effectively idle — at
+// and returns its result channel. When the engine is effectively idle — at
 // most this request holds a scoring slot — there are no batch-mates worth
 // waiting for, so the job dispatches immediately; the idle fast path keeps
 // single-request latency at the pre-batching baseline.
@@ -126,12 +126,12 @@ func (c *coalescer) submit(ctx context.Context, pin Pinned, inst *rerank.Instanc
 	return c.submitJob(&scoreJob{ctx: ctx, inst: inst, pin: pin, done: make(chan scoreOutcome, 1), ownsSlot: true})
 }
 
-// submitJob is submit for a caller-built job (the rerank handler attaches a
+// submitJob is submit for a caller-built job (the rerank path attaches a
 // state-cache key before submitting).
 func (c *coalescer) submitJob(j *scoreJob) <-chan scoreOutcome {
 	c.start()
 	pin := j.pin
-	if c.s.cfg.Batch.MaxBatch <= 1 || len(c.s.sem) <= 1 || !comparableScorer(pin.Scorer) {
+	if c.e.cfg.Batch.MaxBatch <= 1 || len(c.e.sem) <= 1 || !comparableScorer(pin.Scorer) {
 		c.dispatch <- []*scoreJob{j}
 		return j.done
 	}
@@ -146,11 +146,11 @@ func (c *coalescer) submitJob(j *scoreJob) <-chan scoreOutcome {
 	if pb == nil {
 		pb = &pendingBatch{}
 		c.pending[key] = pb
-		pb.timer = time.AfterFunc(c.s.cfg.Batch.MaxWait, func() { c.flush(key, pb) })
+		pb.timer = time.AfterFunc(c.e.cfg.Batch.MaxWait, func() { c.flush(key, pb) })
 	}
 	pb.jobs = append(pb.jobs, j)
 	var ready []*scoreJob
-	if len(pb.jobs) >= c.s.cfg.Batch.MaxBatch {
+	if len(pb.jobs) >= c.e.cfg.Batch.MaxBatch {
 		delete(c.pending, key)
 		pb.timer.Stop()
 		ready = pb.jobs
@@ -178,16 +178,16 @@ func (c *coalescer) flush(key batchKey, pb *pendingBatch) {
 }
 
 // enqueue hands a pre-grouped batch straight to the worker pool — the
-// batch endpoint already holds a whole envelope, so coalescing would only
-// add wait.
+// batch path already holds a whole envelope, so coalescing would only add
+// wait.
 func (c *coalescer) enqueue(jobs []*scoreJob) {
 	c.start()
 	c.dispatch <- jobs
 }
 
 // close flushes every pending batch and stops the workers after the queue
-// drains. Called by Serve once Shutdown has returned, i.e. after all
-// request handlers have finished submitting.
+// drains. Called by Engine.Close once the frontends have stopped
+// submitting.
 func (c *coalescer) close() {
 	c.mu.Lock()
 	if c.closed {
@@ -206,7 +206,7 @@ func (c *coalescer) close() {
 		c.dispatch <- jobs
 	}
 	c.started.Do(func() {}) // a never-started pool has nothing to stop
-	for i := 0; i < c.s.cfg.Batch.Workers; i++ {
+	for i := 0; i < c.e.cfg.Batch.Workers; i++ {
 		c.dispatch <- nil
 	}
 	c.wg.Wait()
@@ -218,14 +218,14 @@ func (c *coalescer) close() {
 // error) fan back to each job's waiter.
 //
 // The filtered slices are fresh allocations, never compactions of jobs:
-// the batch endpoint enqueues subslices of a jobs array it keeps ranging
-// over to collect results, so writing into jobs' backing array here would
-// race with the handler and shift its job pointers.
-func (s *Server) runBatch(jobs []*scoreJob) {
+// the batch path enqueues subslices of a jobs array it keeps ranging over
+// to collect results, so writing into jobs' backing array here would race
+// with the envelope path and shift its job pointers.
+func (e *Engine) runBatch(jobs []*scoreJob) {
 	live := make([]*scoreJob, 0, len(jobs))
 	for _, j := range jobs {
 		if err := j.ctx.Err(); err != nil {
-			s.finish(j, scoreOutcome{err: err})
+			e.finish(j, scoreOutcome{err: err})
 			continue
 		}
 		live = append(live, j)
@@ -234,8 +234,8 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 		return
 	}
 	n := len(live)
-	s.met.batchSize.Observe(float64(n))
-	s.met.inflight.Add(float64(n))
+	e.met.BatchSize.Observe(float64(n))
+	e.met.Inflight.Add(float64(n))
 	sstart := time.Now()
 	// Fault injection counts as part of scoring: a request degraded by
 	// BeforeScore still lands in the scoring histogram and the in-flight
@@ -244,7 +244,7 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 	var fouts []scoreOutcome
 	pass := make([]*scoreJob, 0, len(live))
 	for _, j := range live {
-		if out := s.beforeScore(j); out.err != nil {
+		if out := e.beforeScore(j); out.err != nil {
 			faulted = append(faulted, j)
 			fouts = append(fouts, out)
 			continue
@@ -253,12 +253,12 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 	}
 	var outs []scoreOutcome
 	if len(pass) > 0 {
-		outs = s.scoreJobs(pass)
+		outs = e.scoreJobs(pass)
 		// The post-scoring fault seam runs inside the timing window: injected
 		// response latency lands in the scoring histogram exactly as a truly
 		// slow forward pass would.
 		for i, j := range pass {
-			outs[i] = s.afterScore(j, outs[i])
+			outs[i] = e.afterScore(j, outs[i])
 		}
 	}
 	elapsed := time.Since(sstart)
@@ -266,9 +266,9 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 		// Observed to true completion: a deadline-abandoned pass still lands
 		// its real latency here, which is what the tail of this histogram is
 		// for. Every batched job shares the batch's wall-clock cost.
-		s.met.scoring.ObserveDuration(elapsed)
+		e.met.Scoring.ObserveDuration(elapsed)
 	}
-	s.met.inflight.Add(float64(-n))
+	e.met.Inflight.Add(float64(-n))
 	// Per-diversifier serving metrics: jobs pinned to a classic diversifier
 	// version land in the rapid_diversifier_* family, labeled with the
 	// registry name, so canary/shadow dashboards can compare heuristics
@@ -279,30 +279,30 @@ func (s *Server) runBatch(jobs []*scoreJob) {
 			continue
 		}
 		name := dn.DiversifierName()
-		s.met.divRequests.With(name).Inc()
-		s.met.divItems.With(name).Add(int64(j.inst.L()))
-		s.met.divLatency.With(name).ObserveDuration(elapsed)
+		e.met.DivRequests.With(name).Inc()
+		e.met.DivItems.With(name).Add(int64(j.inst.L()))
+		e.met.DivLatency.With(name).ObserveDuration(elapsed)
 	}
 	for i, j := range faulted {
-		s.finish(j, fouts[i])
+		e.finish(j, fouts[i])
 	}
 	for i, j := range pass {
-		s.finish(j, outs[i])
+		e.finish(j, outs[i])
 	}
-	s.shadowFanout(pass, outs)
+	e.shadowFanout(pass, outs)
 }
 
 // beforeScore runs the fault-injection seam for one job, recovering
 // injected panics so they degrade only that job's response.
-func (s *Server) beforeScore(j *scoreJob) (out scoreOutcome) {
-	f := s.Faults
+func (e *Engine) beforeScore(j *scoreJob) (out scoreOutcome) {
+	f := e.Faults
 	if f == nil {
 		return scoreOutcome{}
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			s.met.panics.Inc()
-			s.Log("serve: recovered scoring panic: %v", p)
+			e.met.Panics.Inc()
+			e.Log("engine: recovered scoring panic: %v", p)
 			out = scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
 		}
 	}()
@@ -315,16 +315,16 @@ func (s *Server) beforeScore(j *scoreJob) (out scoreOutcome) {
 // afterScore runs the post-scoring fault seam for one successfully scored
 // job, recovering injected panics so they degrade only that job's response.
 // Jobs that already failed pass through untouched.
-func (s *Server) afterScore(j *scoreJob, in scoreOutcome) (out scoreOutcome) {
+func (e *Engine) afterScore(j *scoreJob, in scoreOutcome) (out scoreOutcome) {
 	out = in
-	as, ok := s.Faults.(AfterScoreInjector)
+	as, ok := e.Faults.(AfterScoreInjector)
 	if !ok || in.err != nil {
 		return out
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			s.met.panics.Inc()
-			s.Log("serve: recovered post-scoring panic: %v", p)
+			e.met.Panics.Inc()
+			e.Log("engine: recovered post-scoring panic: %v", p)
 			out = scoreOutcome{err: fmt.Errorf("post-scoring panic: %v", p), panicked: true}
 		}
 	}()
@@ -340,13 +340,13 @@ func (s *Server) afterScore(j *scoreJob, in scoreOutcome) (out scoreOutcome) {
 // individual requests (one client disconnecting must not cancel its
 // batch-mates) but bounded by the latest member deadline. Scorers without
 // ScoreBatch fall back to a per-job loop.
-func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
+func (e *Engine) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
 	outs = make([]scoreOutcome, len(jobs))
 	landed := 0
 	defer func() {
 		if p := recover(); p != nil {
-			s.met.panics.Inc()
-			s.Log("serve: recovered scoring panic: %v", p)
+			e.met.Panics.Inc()
+			e.Log("engine: recovered scoring panic: %v", p)
 			out := scoreOutcome{err: fmt.Errorf("scoring panic: %v", p), panicked: true}
 			for i := landed; i < len(outs); i++ {
 				outs[i] = out
@@ -354,8 +354,8 @@ func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
 		}
 	}()
 	scorer := jobs[0].pin.Scorer
-	if ss, ok := scorer.(StateScorer); ok && s.stateCache != nil {
-		return s.scoreJobsStates(ss, jobs, outs, &landed)
+	if ss, ok := scorer.(StateScorer); ok && e.stateCache != nil {
+		return e.scoreJobsStates(ss, jobs, outs, &landed)
 	}
 	if bs, ok := scorer.(BatchScorer); ok && len(jobs) > 1 {
 		insts := make([]*rerank.Instance, len(jobs))
@@ -392,20 +392,20 @@ func (s *Server) scoreJobs(jobs []*scoreJob) (outs []scoreOutcome) {
 // key look up their encoded user state first, and the batch scores through
 // ScoreBatchStates so hits skip the preference pass entirely. Fresh states
 // come back from the same call and are installed for the next request — the
-// cache fills from scoring work the server already paid for, never from
+// cache fills from scoring work the engine already paid for, never from
 // extra encoding passes. Runs for single jobs too (under the job's own
 // request context, preserving per-request cancellation); a batch uses the
 // detached latest-deadline context like the plain batch path.
 //
 // Called under scoreJobs's recover, with its outs/landed so a scorer panic
 // degrades the jobs exactly as on the uncached path.
-func (s *Server) scoreJobsStates(ss StateScorer, jobs []*scoreJob, outs []scoreOutcome, landed *int) []scoreOutcome {
+func (e *Engine) scoreJobsStates(ss StateScorer, jobs []*scoreJob, outs []scoreOutcome, landed *int) []scoreOutcome {
 	insts := make([]*rerank.Instance, len(jobs))
 	states := make([]*core.UserState, len(jobs))
 	for i, j := range jobs {
 		insts[i] = j.inst
 		if j.hasKey {
-			states[i], _ = s.stateCache.Get(j.key)
+			states[i], _ = e.stateCache.Get(j.key)
 		}
 	}
 	bctx, cancel := jobs[0].ctx, func() {}
@@ -430,7 +430,7 @@ func (s *Server) scoreJobsStates(ss StateScorer, jobs []*scoreJob, outs []scoreO
 		// which have no state worth caching.
 		for i, j := range jobs {
 			if j.hasKey && states[i] == nil && i < len(used) && used[i] != nil {
-				s.stateCache.Put(j.key, used[i])
+				e.stateCache.Put(j.key, used[i])
 			}
 		}
 	}
@@ -457,17 +457,17 @@ func batchContext(jobs []*scoreJob) (context.Context, context.CancelFunc) {
 // finish delivers a job's outcome and releases its scoring slot if it owns
 // one. Exactly one finish per job: the buffered done channel makes delivery
 // non-blocking even when the waiter already gave up on its deadline.
-func (s *Server) finish(j *scoreJob, out scoreOutcome) {
+func (e *Engine) finish(j *scoreJob, out scoreOutcome) {
 	j.done <- out
 	if j.ownsSlot {
-		<-s.sem
+		<-e.sem
 	}
 }
 
 // shadowFanout forwards successfully scored jobs to their pins' shadow
 // hooks, grouping contiguous runs that shadow the same candidate version so
 // shadow scoring reuses the batch shape instead of re-splitting per item.
-func (s *Server) shadowFanout(jobs []*scoreJob, outs []scoreOutcome) {
+func (e *Engine) shadowFanout(jobs []*scoreJob, outs []scoreOutcome) {
 	for i := 0; i < len(jobs); {
 		j := jobs[i]
 		if j.pin.ShadowBatch == nil || outs[i].err != nil {

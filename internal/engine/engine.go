@@ -1,0 +1,712 @@
+// Package engine is the transport-neutral scoring engine for a trained
+// RAPID model (and for the weightless diversifier suite served through the
+// same seam). The paper's efficiency analysis (Section V-B) positions
+// re-ranking as a stage inside an industrial response budget (~50 ms); a
+// stage in that position must degrade, shed or drain — never stall or crash
+// the chain it sits in. The engine therefore enforces, per request:
+//
+//   - a scoring deadline (Config.Budget) with graceful degradation: on
+//     overrun, scoring error or recovered scoring panic the response falls
+//     back to the initial-ranker ordering and is marked "degraded" instead
+//     of erroring;
+//   - bounded concurrency: a semaphore with a bounded queue wait sheds
+//     excess load (*ShedError) rather than queueing unboundedly;
+//   - micro-batching: concurrent in-flight requests pinned to the same
+//     (scorer, version) coalesce into one ScoreBatch call;
+//   - an optional encoded user-state cache (the repeat-user fast path);
+//   - multi-tenancy: a request may name a resident tenant scorer
+//     (Config.Tenants), with per-tenant quotas and metrics.
+//
+// The engine knows nothing about HTTP: frontends (internal/serve for JSON
+// over HTTP, internal/serve/binproto for the length-prefixed binary
+// protocol) decode their wire format into Request, call Rerank/RerankBatch,
+// and map the typed errors (*BadInputError, *ShedError,
+// *UnknownTenantError, ErrCanceled) onto their protocol's status shapes.
+// Every hot-path event lands in an internal/obs registry shared with the
+// frontends.
+//
+// The engine scores through a Provider — a per-request (model, manifest,
+// version) pin — so a model lifecycle layer (internal/registry) can swap,
+// canary and shadow versions underneath live traffic; NewStatic wraps a
+// fixed model in a static provider for the single-model shape.
+package engine
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/obs"
+	"repro/internal/rerank"
+)
+
+// Config bounds the engine's resource envelope. The zero value is usable:
+// every field falls back to the listed default.
+type Config struct {
+	// Budget is the per-request scoring deadline (default 50ms, the
+	// industrial response budget of Section V-B). On overrun the request
+	// degrades to the initial-ranker ordering.
+	Budget time.Duration
+	// MaxInFlight bounds concurrently executing scoring passes (default
+	// 4×GOMAXPROCS). Scoring is CPU-bound; admitting more than a small
+	// multiple of the cores only grows tail latency.
+	MaxInFlight int
+	// QueueWait is how long an admission may wait for a scoring slot before
+	// the request is shed (default 10ms).
+	QueueWait time.Duration
+	// DrainTimeout is the graceful-shutdown window frontends advertise in
+	// draining sheds' Retry-After hints (default 10s).
+	DrainTimeout time.Duration
+	// Registry receives the engine's metrics; nil means a private registry
+	// (read it back with Engine.Registry). Passing one lets a process share
+	// a single /metrics namespace across subsystems.
+	Registry *obs.Registry
+	// Batch bounds the micro-batching coalescer; see BatchConfig. The zero
+	// value enables batching with the defaults (16 / 2ms); set MaxBatch to 1
+	// to score strictly per request.
+	Batch BatchConfig
+	// StateCacheBytes is the memory budget for the encoded user-state cache
+	// (the repeat-user fast path). 0, the default, disables the cache. The
+	// cache only engages for scorers implementing StateScorer; wire
+	// Engine.FlushStateCache to the model lifecycle (Registry.SetOnSwap) so a
+	// promote or rollback can never serve a stale state.
+	StateCacheBytes int64
+	// Feedback, when set, receives a Track call correlating every rerank
+	// response's request_id to its served (route, version) pair. Frontends
+	// additionally route submitted feedback events to the same sink. nil
+	// disables correlation; responses still carry request ids either way.
+	Feedback FeedbackSink
+	// Tenants resolves the Request.Tenant field to additional resident
+	// providers. nil (the default) rejects every named tenant; requests with
+	// an empty tenant always go to the engine's own provider.
+	Tenants TenantSource
+	// TenantMaxInFlight, when positive, bounds concurrently admitted
+	// single-rerank requests per tenant (the default tenant included).
+	// Saturation sheds with reason ShedTenantQuota instead of queueing, so
+	// one hot tenant cannot occupy every scoring slot. Batch envelopes are
+	// bounded by MaxInFlight/MaxBatchRequests only.
+	TenantMaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 50 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 10 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Batch.MaxBatch <= 0 {
+		c.Batch.MaxBatch = 16
+	}
+	if c.Batch.MaxWait <= 0 {
+		c.Batch.MaxWait = 2 * time.Millisecond
+	}
+	if c.Batch.Workers <= 0 {
+		c.Batch.Workers = max(2, runtime.GOMAXPROCS(0))
+	}
+	return c
+}
+
+// Stats are the engine's operational counters. The same numbers back the
+// /metrics exposition: both views read the one set of registry atomics, so
+// they can never disagree.
+type Stats struct {
+	Requests  int64 `json:"requests"`
+	Degraded  int64 `json:"degraded"`
+	Shed      int64 `json:"shed"`
+	Panics    int64 `json:"panics_recovered"`
+	BadInput  int64 `json:"bad_input"`
+	Responses int64 `json:"responses_ok"`
+}
+
+// Shed reasons, exported so a fleet router can match the X-Shed-Reason
+// header without restating the strings. A backpressure shed means "come
+// back shortly — a slot will free"; a draining shed means "this replica is
+// going away — re-route, do not retry here"; a tenant-quota shed means
+// "this tenant's own concurrency bound is saturated".
+const (
+	ShedBackpressure = "backpressure"
+	ShedDraining     = "draining"
+	ShedTenantQuota  = "tenant_quota"
+)
+
+// MaxBatchRequests caps the instances one RerankBatch call may carry. The
+// batch is admitted as one unit against MaxInFlight; an unbounded envelope
+// would let a single caller monopolize the scoring pool.
+const MaxBatchRequests = 64
+
+// Engine owns the scoring data plane behind a transport-neutral API.
+type Engine struct {
+	cfg        Config
+	provider   Provider
+	sem        chan struct{}
+	draining   atomic.Bool
+	reg        *obs.Registry
+	met        *Metrics
+	batch      *coalescer
+	stateCache *StateCache // nil when Config.StateCacheBytes == 0
+	idPrefix   string      // per-process request-id prefix
+	reqSeq     atomic.Uint64
+
+	tenantMu   sync.Mutex
+	tenantSems map[string]chan struct{} // per-tenant quota, lazily created
+
+	// Faults is the chaos-testing seam; nil in production.
+	Faults FaultInjector
+	// Log receives operational messages; defaults to log.Printf.
+	Log func(format string, args ...any)
+}
+
+// NewStatic wraps a single fixed scorer as an engine. man.Config must
+// describe the scorer's instance geometry (it validates incoming requests).
+// For hot-swappable versions use New with a Provider.
+func NewStatic(model Scorer, man Manifest, cfg Config) *Engine {
+	return New(staticProvider{pin: Pinned{Scorer: model, Manifest: man}}, cfg)
+}
+
+// New builds an engine that asks p for the (model, manifest, version)
+// triple of every request — the deployment shape where a registry swaps,
+// canaries and shadows model versions underneath live traffic.
+func New(p Provider, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
+		cfg:        cfg,
+		provider:   p,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		reg:        reg,
+		met:        NewMetrics(reg),
+		idPrefix:   newIDPrefix(),
+		tenantSems: make(map[string]chan struct{}),
+		Log:        log.Printf,
+	}
+	e.batch = newCoalescer(e)
+	if cfg.StateCacheBytes > 0 {
+		e.stateCache = newStateCache(cfg.StateCacheBytes, e.met)
+	}
+	e.met.MatWorkers.Set(float64(mat.Workers()))
+	return e
+}
+
+// Registry exposes the engine's metric registry so a binary can add its own
+// metrics to the same /metrics namespace.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Metrics exposes the engine's metric set so frontends can account their
+// own pre-engine failures (decode errors, oversized bodies) in the same
+// counters the dashboards read.
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// Provider exposes the engine's default-tenant provider (health surfaces
+// report its active pin).
+func (e *Engine) Provider() Provider { return e.provider }
+
+// Budget reports the per-request scoring deadline after defaulting.
+func (e *Engine) Budget() time.Duration { return e.cfg.Budget }
+
+// DrainWindow reports the configured drain timeout after defaulting.
+func (e *Engine) DrainWindow() time.Duration { return e.cfg.DrainTimeout }
+
+// FeedbackSink reports the configured feedback sink (nil when unset).
+func (e *Engine) FeedbackSink() FeedbackSink { return e.cfg.Feedback }
+
+// SetDraining flips the engine's drain flag. A draining engine finishes
+// what it admitted but sheds everything new with reason ShedDraining, so a
+// fleet router re-routes now and stops retrying a replica that is going
+// away.
+func (e *Engine) SetDraining(v bool) { e.draining.Store(v) }
+
+// Draining reports whether the engine is refusing new work.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Close flushes the coalescer's pending batches and stops the scoring
+// workers. Call it after every frontend has stopped submitting (an HTTP
+// frontend calls it once Shutdown returns). Idempotent.
+func (e *Engine) Close() { e.batch.close() }
+
+// newIDPrefix draws the per-process request-id prefix. Randomness makes ids
+// unique across replicas and restarts without coordination; crypto/rand
+// failure (no entropy device) falls back to a pid-free constant — ids are
+// then unique only within the process, which the correlation table is.
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "local"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newRequestID issues the response's request_id: process prefix + sequence.
+// Cheap (one atomic add, one small allocation) because every response pays
+// it; the id is opaque to clients — its only contract is echoing it back in
+// feedback events.
+func (e *Engine) newRequestID() string {
+	return e.idPrefix + "-" + strconv.FormatUint(e.reqSeq.Add(1), 36)
+}
+
+// Stats snapshots the operational counters from the metric registry. Each
+// field is one atomic load; the struct is a consistent-enough scrape (see
+// the obs package comment), and every field is individually exact.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Requests:  e.met.Requests.Value(),
+		Degraded:  e.met.Degraded.Total(),
+		Shed:      e.met.Shed.Total(),
+		Panics:    e.met.Panics.Value(),
+		BadInput:  e.met.BadInput.Value(),
+		Responses: e.met.ResponsesOK.Value(),
+	}
+}
+
+// RetryAfterS derives a backpressure backoff hint (in whole seconds) from
+// current pressure instead of a constant: an idle-but-bursty engine
+// suggests 1s, a saturated one up to 4s, and ±1s of jitter spreads the
+// retries of a shed wave so the clients do not come back in lockstep and
+// shed again.
+func (e *Engine) RetryAfterS() int {
+	base := 1 + (3*len(e.sem))/cap(e.sem)
+	sec := base + rand.IntN(3) - 1
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// shed accounts a refused request and builds its typed error. tenant labels
+// tenant-quota sheds only.
+func (e *Engine) shed(reason, tenant string) *ShedError {
+	e.met.Responses.With("shed").Inc()
+	switch reason {
+	case ShedDraining:
+		e.met.ShedDrain.Inc()
+		return &ShedError{Reason: reason, RetryAfterS: max(1, int(e.cfg.DrainTimeout/time.Second))}
+	case ShedTenantQuota:
+		e.met.Shed.With(ShedTenantQuota).Inc()
+		e.met.TenantShed.With(tenant).Inc()
+		return &ShedError{Reason: reason, RetryAfterS: e.RetryAfterS()}
+	default:
+		e.met.ShedBack.Inc()
+		return &ShedError{Reason: ShedBackpressure, RetryAfterS: e.RetryAfterS()}
+	}
+}
+
+// shedReason classifies a queue-wait shed: a drain that began while the
+// request waited for a slot is a draining shed (the slot will never free for
+// new work), anything else is ordinary backpressure.
+func (e *Engine) shedReason() string {
+	if e.draining.Load() {
+		return ShedDraining
+	}
+	return ShedBackpressure
+}
+
+// providerFor resolves a request's tenant field to (metric label, provider).
+func (e *Engine) providerFor(name string) (string, Provider, error) {
+	if name == "" {
+		return DefaultTenant, e.provider, nil
+	}
+	if e.cfg.Tenants == nil {
+		return name, nil, &UnknownTenantError{Tenant: name}
+	}
+	p, err := e.cfg.Tenants.Tenant(name)
+	if err != nil {
+		var ut *UnknownTenantError
+		if errors.As(err, &ut) {
+			return name, nil, err
+		}
+		return name, nil, &UnknownTenantError{Tenant: name, Cause: err}
+	}
+	return name, p, nil
+}
+
+// tenantAcquire takes the tenant's quota slot (when quotas are configured).
+// Non-blocking: a saturated tenant sheds immediately rather than queueing —
+// the global QueueWait already absorbs bursts, and waiting here would let a
+// hot tenant's backlog delay everyone behind it in the handler. The
+// returned release covers the request's stay inside Rerank.
+func (e *Engine) tenantAcquire(tenant string) (release func(), ok bool) {
+	if e.cfg.TenantMaxInFlight <= 0 {
+		return func() {}, true
+	}
+	e.tenantMu.Lock()
+	sem := e.tenantSems[tenant]
+	if sem == nil {
+		sem = make(chan struct{}, e.cfg.TenantMaxInFlight)
+		e.tenantSems[tenant] = sem
+	}
+	e.tenantMu.Unlock()
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, true
+	default:
+		return nil, false
+	}
+}
+
+type scoreOutcome struct {
+	scores   []float64
+	err      error
+	panicked bool
+}
+
+// Rerank scores one request end to end: tenant resolution, provider
+// pinning, geometry validation, admission, coalesced scoring, graceful
+// degradation and response labeling. It returns a typed error —
+// *BadInputError, *ShedError, *UnknownTenantError or ErrCanceled — when no
+// response was produced; degradation is not an error (the Response carries
+// Degraded/DegradedReason instead).
+func (e *Engine) Rerank(ctx context.Context, req *Request) (Response, error) {
+	start := time.Now()
+	e.met.Requests.Inc()
+	defer func() { e.met.Request.ObserveDuration(time.Since(start)) }()
+
+	// A draining engine finishes what it admitted but takes nothing new.
+	if e.draining.Load() {
+		return Response{}, e.shed(ShedDraining, "")
+	}
+
+	tenant, prov, terr := e.providerFor(req.Tenant)
+	if terr != nil {
+		e.met.BadInput.Inc()
+		e.met.Responses.With("bad_input").Inc()
+		return Response{}, terr
+	}
+	e.met.TenantRequests.With(tenant).Inc()
+
+	// Pin one coherent (model, manifest, version) triple before validating:
+	// the pinned version's geometry is the contract the request must meet,
+	// and the same pin serves scoring and response labeling, so a version
+	// swap mid-request can never mix models.
+	route := RouteKey(req)
+	pin := prov.Pick(route)
+	inst, err := ToInstance(pin.Manifest.Config, req)
+	if err != nil {
+		e.met.BadInput.Inc()
+		e.met.Responses.With("bad_input").Inc()
+		return Response{}, badInput(err)
+	}
+
+	tenantRelease, admitted := e.tenantAcquire(tenant)
+	if !admitted {
+		return Response{}, e.shed(ShedTenantQuota, tenant)
+	}
+	defer tenantRelease()
+
+	// Admission: wait at most QueueWait for a scoring slot, then shed. The
+	// slot is released by the scoring goroutine when scoring truly ends, not
+	// when Rerank returns — an abandoned (deadline-overrun) scorer still
+	// occupies CPU, and only this accounting keeps the concurrency bound
+	// honest.
+	admit := time.NewTimer(e.cfg.QueueWait)
+	defer admit.Stop()
+	qstart := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+		e.met.QueueWait.ObserveDuration(time.Since(qstart))
+	case <-admit.C:
+		return Response{}, e.shed(e.shedReason(), tenant)
+	case <-ctx.Done():
+		e.met.Responses.With("canceled").Inc()
+		return Response{}, ErrCanceled
+	}
+
+	// Scoring is delegated to the micro-batching coalescer: the request's
+	// job either rides a coalesced batch with other in-flight requests of
+	// the same (scorer, version) pin or dispatches alone when the engine is
+	// idle.
+	sctx, cancel := context.WithTimeout(ctx, e.cfg.Budget)
+	defer cancel()
+	key, hasKey := e.stateKeyFor(req, tenant, route, pin)
+	done := e.batch.submitJob(&scoreJob{
+		ctx: sctx, inst: inst, pin: pin,
+		done: make(chan scoreOutcome, 1), ownsSlot: true,
+		key: key, hasKey: hasKey,
+	})
+
+	var resp Response
+	outcome := "ok"
+	select {
+	case out := <-done:
+		if out.err != nil {
+			// A caller disconnect surfaces as context.Canceled with the
+			// caller context done; count it as canceled (matching the
+			// admission path) and skip building a response nobody reads —
+			// it is not a budget overrun.
+			if errors.Is(out.err, context.Canceled) && ctx.Err() != nil {
+				e.met.Responses.With("canceled").Inc()
+				return Response{}, ErrCanceled
+			}
+			outcome = degradeReason(out)
+			resp = e.degrade(inst, outcome)
+		} else {
+			resp = okResponse(inst, out.scores)
+			e.met.ResponsesOK.Inc()
+		}
+	case <-sctx.Done():
+		if ctx.Err() != nil {
+			e.met.Responses.With("canceled").Inc()
+			return Response{}, ErrCanceled
+		}
+		resp = e.degrade(inst, "deadline")
+		outcome = "deadline"
+	}
+	resp.ModelVersion = pin.Version
+	resp.Canary = pin.Canary
+	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1000
+	// The request id is issued only for responses that actually reach the
+	// caller (canceled paths return above), and tracked before the response
+	// is handed back so a feedback event can never race ahead of its
+	// correlation entry.
+	resp.RequestID = e.newRequestID()
+	if e.cfg.Feedback != nil {
+		e.cfg.Feedback.Track(resp.RequestID, route, pin.Version)
+	}
+	if pin.Observe != nil {
+		pin.Observe(outcome, time.Since(start))
+	}
+	return resp, nil
+}
+
+// RerankBatch scores up to MaxBatchRequests independent requests as one
+// envelope. Each item is pinned, validated and answered independently
+// (per-item degraded flags and error strings); the envelope occupies one
+// MaxInFlight slot and one Budget deadline as a whole. Envelope-level
+// counters observe the request once; per-item degradations still land in
+// the per-reason degraded counters. The returned slice is in request order;
+// a typed error means no responses were produced at all.
+func (e *Engine) RerankBatch(ctx context.Context, reqs []Request) ([]Response, error) {
+	start := time.Now()
+	e.met.Requests.Inc()
+	e.met.BatchRequests.Inc()
+	defer func() { e.met.Request.ObserveDuration(time.Since(start)) }()
+
+	if e.draining.Load() {
+		return nil, e.shed(ShedDraining, "")
+	}
+	n := len(reqs)
+	if n == 0 || n > MaxBatchRequests {
+		e.met.BadInput.Inc()
+		e.met.Responses.With("bad_input").Inc()
+		return nil, badInput(fmt.Errorf("batch must carry 1..%d requests, got %d", MaxBatchRequests, n))
+	}
+	e.met.BatchItems.Add(int64(n))
+
+	// Pin and validate each item independently: one malformed item (or one
+	// unknown tenant) yields a per-item error, not a rejected envelope.
+	pins := make([]Pinned, n)
+	insts := make([]*rerank.Instance, n)
+	resps := make([]Response, n)
+	outcomes := make([]string, n)
+	valid := 0
+	routes := make([]uint64, n)
+	tenants := make([]string, n)
+	for i := range reqs {
+		tenant, prov, terr := e.providerFor(reqs[i].Tenant)
+		tenants[i] = tenant
+		if terr != nil {
+			e.met.BadInput.Inc()
+			resps[i] = Response{Error: terr.Error()}
+			continue
+		}
+		e.met.TenantRequests.With(tenant).Inc()
+		routes[i] = RouteKey(&reqs[i])
+		pins[i] = prov.Pick(routes[i])
+		inst, err := ToInstance(pins[i].Manifest.Config, &reqs[i])
+		if err != nil {
+			e.met.BadInput.Inc()
+			resps[i] = Response{Error: err.Error()}
+			continue
+		}
+		insts[i] = inst
+		valid++
+	}
+
+	if valid > 0 {
+		// Admission: the whole envelope takes one scoring slot.
+		admit := time.NewTimer(e.cfg.QueueWait)
+		defer admit.Stop()
+		qstart := time.Now()
+		select {
+		case e.sem <- struct{}{}:
+			e.met.QueueWait.ObserveDuration(time.Since(qstart))
+		case <-admit.C:
+			return nil, e.shed(e.shedReason(), "")
+		case <-ctx.Done():
+			e.met.Responses.With("canceled").Inc()
+			return nil, ErrCanceled
+		}
+		// Release the envelope's slot on every exit — including a panic
+		// recovered by a frontend's wrapper — or one MaxInFlight slot would
+		// leak until restart. The straight-line path releases the slot
+		// early, before response labeling, so a slow client never holds
+		// scoring capacity.
+		held := true
+		defer func() {
+			if held {
+				<-e.sem
+			}
+		}()
+		sctx, cancel := context.WithTimeout(ctx, e.cfg.Budget)
+		defer cancel()
+		jobs := make([]*scoreJob, 0, valid)
+		idxs := make([]int, 0, valid)
+		for i := range reqs {
+			if insts[i] == nil {
+				continue
+			}
+			key, hasKey := e.stateKeyFor(&reqs[i], tenants[i], routes[i], pins[i])
+			jobs = append(jobs, &scoreJob{
+				ctx: sctx, inst: insts[i], pin: pins[i],
+				done: make(chan scoreOutcome, 1),
+				key:  key, hasKey: hasKey,
+			})
+			idxs = append(idxs, i)
+		}
+		// The envelope is already a batch in hand: enqueue contiguous
+		// same-pin runs (split at MaxBatch) directly, skipping the MaxWait
+		// coalescing window. A non-comparable scorer cannot form a batchKey,
+		// so its jobs enqueue one by one.
+		for from := 0; from < len(jobs); {
+			to := from + 1
+			if comparableScorer(jobs[from].pin.Scorer) {
+				key := batchKey{jobs[from].pin.Scorer, jobs[from].pin.Version}
+				for to < len(jobs) && to-from < e.cfg.Batch.MaxBatch &&
+					comparableScorer(jobs[to].pin.Scorer) &&
+					(batchKey{jobs[to].pin.Scorer, jobs[to].pin.Version}) == key {
+					to++
+				}
+			}
+			e.batch.enqueue(jobs[from:to:to])
+			from = to
+		}
+		for k, j := range jobs {
+			i := idxs[k]
+			var out scoreOutcome
+			select {
+			case out = <-j.done:
+			case <-sctx.Done():
+				out = scoreOutcome{err: sctx.Err()}
+			}
+			if out.err != nil {
+				// A caller disconnect cancels ctx for every remaining item;
+				// count the envelope once as canceled and produce nothing.
+				// The deferred release frees the slot; workers still drain
+				// the buffered done channels.
+				if errors.Is(out.err, context.Canceled) && ctx.Err() != nil {
+					e.met.Responses.With("canceled").Inc()
+					return nil, ErrCanceled
+				}
+				outcomes[i] = degradeReason(out)
+				e.met.Degraded.With(outcomes[i]).Inc()
+				resps[i] = degradedResponse(insts[i], outcomes[i])
+			} else {
+				outcomes[i] = "ok"
+				resps[i] = okResponse(insts[i], out.scores)
+			}
+		}
+		held = false
+		<-e.sem // release the envelope's slot
+	}
+
+	elapsed := time.Since(start)
+	ms := float64(elapsed.Microseconds()) / 1000
+	for i := range resps {
+		if insts[i] == nil {
+			continue
+		}
+		resps[i].ModelVersion = pins[i].Version
+		resps[i].Canary = pins[i].Canary
+		resps[i].LatencyMS = ms
+		// Each batch item gets its own request id: feedback joins per
+		// impression, and an envelope is just transport.
+		resps[i].RequestID = e.newRequestID()
+		if e.cfg.Feedback != nil {
+			e.cfg.Feedback.Track(resps[i].RequestID, routes[i], pins[i].Version)
+		}
+		if pins[i].Observe != nil {
+			pins[i].Observe(outcomes[i], elapsed)
+		}
+	}
+	// The envelope's terminal status reflects its items: ok if any item
+	// scored, degraded if any item at least reached scoring, bad_input when
+	// every item failed validation. Counting every envelope as ok would hide
+	// batch-path failures from ok-rate dashboards.
+	status := "bad_input"
+	for i := range resps {
+		if outcomes[i] == "ok" {
+			status = "ok"
+			break
+		}
+		if insts[i] != nil {
+			status = "degraded"
+		}
+	}
+	e.met.Responses.With(status).Inc()
+	return resps, nil
+}
+
+// degrade builds the graceful-degradation response: the initial ranker's
+// ordering, marked degraded. A re-ranking stage that cannot answer in budget
+// must hand back the list it was given — the upstream ranking is always a
+// valid (if less diverse) answer, while an error would cost the impression.
+func (e *Engine) degrade(inst *rerank.Instance, reason string) Response {
+	e.met.Degraded.With(reason).Inc()
+	e.met.Responses.With("degraded").Inc()
+	return degradedResponse(inst, reason)
+}
+
+func degradedResponse(inst *rerank.Instance, reason string) Response {
+	order, scores := FallbackOrder(inst)
+	return Response{Ranked: order, Scores: scores, Degraded: true, DegradedReason: reason}
+}
+
+// degradeReason maps a scoring outcome's error to the degradation label:
+// panic for recovered panics, deadline for context expiry/cancellation
+// (a scorer that honored ctx reports the same reason the engine's own
+// timeout path would), error for everything else. Caller disconnects are
+// filtered out before this mapping — a canceled caller context counts as
+// "canceled", not a degradation.
+func degradeReason(out scoreOutcome) string {
+	switch {
+	case out.panicked:
+		return "panic"
+	case errors.Is(out.err, context.DeadlineExceeded), errors.Is(out.err, context.Canceled):
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+// okResponse orders the list by the model's scores and aligns the score
+// slice with the returned ranking.
+func okResponse(inst *rerank.Instance, scores []float64) Response {
+	order := rerank.OrderByScores(inst.Items, scores)
+	pos := make(map[int]int, len(inst.Items))
+	for i, id := range inst.Items {
+		pos[id] = i
+	}
+	ordered := make([]float64, len(order))
+	for i, id := range order {
+		ordered[i] = scores[pos[id]]
+	}
+	return Response{Ranked: order, Scores: ordered}
+}

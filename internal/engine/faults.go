@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -7,7 +7,7 @@ import (
 )
 
 // FaultInjector is the chaos-testing seam on the scoring path. Production
-// servers leave it nil (a nil injector costs one pointer compare per
+// engines leave it nil (a nil injector costs one pointer compare per
 // request); tests install an implementation to simulate the failure modes a
 // live re-ranker must survive:
 //
@@ -20,7 +20,7 @@ import (
 //
 // BeforeScore runs on the scoring goroutine, inside the panic-recovery and
 // deadline envelope, immediately before the model is invoked. Any non-nil
-// error (and any panic) triggers the degraded fallback, never a 5xx.
+// error (and any panic) triggers the degraded fallback, never a hard error.
 type FaultInjector interface {
 	BeforeScore(ctx context.Context, inst *rerank.Instance) error
 }

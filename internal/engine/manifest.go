@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"encoding/json"
@@ -95,7 +95,7 @@ func LoadModel(modelPath string) (*core.Model, Manifest, error) {
 		return nil, Manifest{}, fmt.Errorf("open manifest: %w", err)
 	}
 	defer mf.Close()
-	man, err := decodeManifest(mf)
+	man, err := DecodeManifest(mf)
 	if err != nil {
 		return nil, man, fmt.Errorf("manifest %s: %w", ManifestPath(modelPath), err)
 	}
@@ -114,11 +114,11 @@ func LoadModel(modelPath string) (*core.Model, Manifest, error) {
 	return m, man, nil
 }
 
-// decodeManifest is the manifest parsing stage LoadModel runs before
+// DecodeManifest is the manifest parsing stage LoadModel runs before
 // touching any weights: JSON decode plus geometry validation. It is split
 // out so the fuzz harness (FuzzManifest) can drive arbitrary bytes through
 // exactly the code a hostile manifest would reach, without building models.
-func decodeManifest(r io.Reader) (Manifest, error) {
+func DecodeManifest(r io.Reader) (Manifest, error) {
 	var man Manifest
 	if err := json.NewDecoder(r).Decode(&man); err != nil {
 		return man, fmt.Errorf("decode manifest: %w", err)
@@ -141,7 +141,7 @@ func ReadManifest(modelPath string) (Manifest, error) {
 		return Manifest{}, fmt.Errorf("open manifest: %w", err)
 	}
 	defer mf.Close()
-	man, err := decodeManifest(mf)
+	man, err := DecodeManifest(mf)
 	if err != nil {
 		return man, fmt.Errorf("manifest %s: %w", ManifestPath(modelPath), err)
 	}

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"encoding/binary"
@@ -11,10 +11,10 @@ import (
 
 // Pinned is one coherent serving assignment: the scorer, its manifest and
 // its version label, captured together from a single provider snapshot. A
-// request pins exactly one Pinned and uses it end to end — decode-time
-// geometry validation, scoring and response labeling all read the same
-// triple, so a version swap concurrent with the request can never produce a
-// torn read (scores from one model attributed to another).
+// request pins exactly one Pinned and uses it end to end — geometry
+// validation, scoring and response labeling all read the same triple, so a
+// version swap concurrent with the request can never produce a torn read
+// (scores from one model attributed to another).
 type Pinned struct {
 	Scorer   Scorer
 	Manifest Manifest
@@ -31,8 +31,8 @@ type Pinned struct {
 	Observe func(outcome string, latency time.Duration)
 	// ShadowBatch, if non-nil, is invoked after a successful scoring pass
 	// with the request instances and the primary model's scores (each
-	// aligned with its instance's Items). The serving layer forwards whole
-	// scored batches, so shadow scoring reuses the batch shape instead of
+	// aligned with its instance's Items). The engine forwards whole scored
+	// batches, so shadow scoring reuses the batch shape instead of
 	// re-splitting per item. Implementations must not block: shadow work is
 	// scored asynchronously off the request path and shed under pressure.
 	ShadowBatch func(insts []*rerank.Instance, scores [][]float64)
@@ -41,17 +41,17 @@ type Pinned struct {
 	ShadowVersion string
 }
 
-// Provider hands the server a model per request. It is the seam between the
-// serving data plane and the model lifecycle control plane: a provider may
-// be a fixed single model (staticProvider) or a versioned registry that
+// Provider hands the engine a model per request. It is the seam between the
+// scoring data plane and the model lifecycle control plane: a provider may
+// be a fixed single model (StaticProvider) or a versioned registry that
 // routes a deterministic traffic fraction to a canary candidate while
 // versions hot-swap underneath (internal/registry).
 //
 // Both methods must be safe for concurrent use and must return a coherent
 // triple assembled from one atomic snapshot of the provider's state.
 type Provider interface {
-	// Active returns the current active model — the one /healthz reports
-	// and warm paths should assume.
+	// Active returns the current active model — the one health surfaces
+	// report and warm paths should assume.
 	Active() Pinned
 	// Pick returns the model that serves the request with the given routing
 	// key: the active model, or the canary candidate for the configured
@@ -59,9 +59,11 @@ type Provider interface {
 	Pick(key uint64) Pinned
 }
 
-// staticProvider serves one fixed model forever — the original single-model
-// deployment shape, kept as the NewServer default so a process without a
-// registry pays zero lifecycle overhead.
+// StaticProvider wraps one fixed pin as a Provider — the original
+// single-model deployment shape, kept as the New default so a process
+// without a registry pays zero lifecycle overhead.
+func StaticProvider(pin Pinned) Provider { return staticProvider{pin: pin} }
+
 type staticProvider struct{ pin Pinned }
 
 func (p staticProvider) Active() Pinned     { return p.pin }
@@ -73,7 +75,7 @@ func (p staticProvider) Pick(uint64) Pinned { return p.pin }
 // user's experience is stable across retries and a misbehaving canary is
 // reproducible from its request alone — the properties coin-flip routing
 // gives up.
-func RouteKey(req *RerankRequest) uint64 {
+func RouteKey(req *Request) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, f := range req.UserFeatures {

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"container/list"
@@ -16,20 +16,23 @@ import (
 // where states[i], when non-nil, replaces instance i's user-preference
 // encoding, and return the states actually used so the caller can cache the
 // fresh ones. *core.Model implements it; the coalescer routes through it
-// whenever the server's state cache is enabled and the pinned scorer
+// whenever the engine's state cache is enabled and the pinned scorer
 // supports it.
 type StateScorer interface {
 	BatchScorer
 	ScoreBatchStates(ctx context.Context, insts []*rerank.Instance, states []*core.UserState) ([][]float64, []*core.UserState, error)
 }
 
-// StateKey identifies one cached user state: the request's deterministic
-// route key, a hash of the user's behavior history, and the model version
-// that encoded the state. The version component makes canary traffic and
-// post-promote traffic miss cleanly rather than read a state encoded by a
-// different model; the history hash makes any change in the user's features
-// or behavior sequences a miss (a stale state is never served).
+// StateKey identifies one cached user state: the tenant that served the
+// request, the request's deterministic route key, a hash of the user's
+// behavior history, and the model version that encoded the state. The
+// version component makes canary traffic and post-promote traffic miss
+// cleanly rather than read a state encoded by a different model; the history
+// hash makes any change in the user's features or behavior sequences a miss
+// (a stale state is never served); the tenant component keeps states of
+// distinct resident scorers apart even when their version labels collide.
 type StateKey struct {
+	Tenant  string
 	Route   uint64
 	History uint64
 	Version string
@@ -40,7 +43,7 @@ type StateKey struct {
 // vector, with topic and length framing so permuted or split sequences
 // cannot collide. Two requests with equal HistoryKey (and equal model
 // version) are guaranteed the same encoded state.
-func HistoryKey(req *RerankRequest) uint64 {
+func HistoryKey(req *Request) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	w := func(f float64) {
@@ -80,11 +83,11 @@ type StateCache struct {
 	ll     *list.List // front = most recently used; values are *cacheEntry
 	by     map[StateKey]*list.Element
 
-	met *serveMetrics // hit/miss/eviction/invalidation counters, size gauges
+	met *Metrics // hit/miss/eviction/invalidation counters, size gauges
 }
 
 // newStateCache builds a cache bounded to budget bytes of encoded states.
-func newStateCache(budget int64, met *serveMetrics) *StateCache {
+func newStateCache(budget int64, met *Metrics) *StateCache {
 	return &StateCache{budget: budget, ll: list.New(), by: map[StateKey]*list.Element{}, met: met}
 }
 
@@ -94,11 +97,11 @@ func (c *StateCache) Get(key StateKey) (*core.UserState, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.by[key]
 	if !ok {
-		c.met.cacheMisses.Inc()
+		c.met.CacheMisses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.met.cacheHits.Inc()
+	c.met.CacheHits.Inc()
 	return el.Value.(*cacheEntry).st, true
 }
 
@@ -133,10 +136,10 @@ func (c *StateCache) Put(key StateKey, st *core.UserState) {
 		c.ll.Remove(back)
 		delete(c.by, ent.key)
 		c.bytes -= ent.size
-		c.met.cacheEvictions.Inc()
+		c.met.CacheEvictions.Inc()
 	}
-	c.met.cacheEntries.Set(float64(c.ll.Len()))
-	c.met.cacheBytes.Set(float64(c.bytes))
+	c.met.CacheEntries.Set(float64(c.ll.Len()))
+	c.met.CacheBytes.Set(float64(c.bytes))
 }
 
 // Flush drops every entry. It is the model-lifecycle invalidation hook:
@@ -151,10 +154,10 @@ func (c *StateCache) Flush() {
 	c.by = map[StateKey]*list.Element{}
 	c.bytes = 0
 	if n > 0 {
-		c.met.cacheInvalidations.Inc()
+		c.met.CacheInvalidations.Inc()
 	}
-	c.met.cacheEntries.Set(0)
-	c.met.cacheBytes.Set(0)
+	c.met.CacheEntries.Set(0)
+	c.met.CacheBytes.Set(0)
 }
 
 // Stats reports the cache's resident entry count and byte size.
@@ -167,26 +170,27 @@ func (c *StateCache) Stats() (entries int, bytes int64) {
 // stateKeyFor derives a request's state-cache key: set only when the cache
 // is enabled and the pinned scorer can consume encoded states, so the
 // scoring workers never hash or probe the cache in vain. route is the
-// request's RouteKey, already computed for provider pinning.
-func (s *Server) stateKeyFor(req *RerankRequest, route uint64, pin Pinned) (StateKey, bool) {
-	if s.stateCache == nil {
+// request's RouteKey, already computed for provider pinning; tenant is the
+// resolved tenant label.
+func (e *Engine) stateKeyFor(req *Request, tenant string, route uint64, pin Pinned) (StateKey, bool) {
+	if e.stateCache == nil {
 		return StateKey{}, false
 	}
 	if _, ok := pin.Scorer.(StateScorer); !ok {
 		return StateKey{}, false
 	}
-	return StateKey{Route: route, History: HistoryKey(req), Version: pin.Version}, true
+	return StateKey{Tenant: tenant, Route: route, History: HistoryKey(req), Version: pin.Version}, true
 }
 
-// StateCache exposes the server's state cache (nil when disabled) so a
+// StateCache exposes the engine's state cache (nil when disabled) so a
 // binary can wire lifecycle invalidation and report stats.
-func (s *Server) StateCache() *StateCache { return s.stateCache }
+func (e *Engine) StateCache() *StateCache { return e.stateCache }
 
 // FlushStateCache invalidates every cached user state; safe to call at any
 // time, including with no cache configured. Wire it to the model registry's
 // OnSwap hook so promote/rollback can never serve a stale encoded state.
-func (s *Server) FlushStateCache() {
-	if s.stateCache != nil {
-		s.stateCache.Flush()
+func (e *Engine) FlushStateCache() {
+	if e.stateCache != nil {
+		e.stateCache.Flush()
 	}
 }

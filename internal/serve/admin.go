@@ -72,41 +72,42 @@ func (s *Server) adminAllowed(r *http.Request) bool {
 func (s *Server) adminGuard(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.adminAllowed(r) {
-			http.Error(w, "admin endpoints require the admin token or a loopback peer", http.StatusForbidden)
+			s.writeError(w, false, http.StatusForbidden, ErrCodeForbidden,
+				"admin endpoints require the admin token or a loopback peer", 0)
 			return
 		}
 		next(w, r)
 	}
 }
 
-// adminError maps lifecycle errors onto HTTP statuses: unknown versions are
+// adminError maps lifecycle errors onto the envelope: unknown versions are
 // 404, invalid-state operations 409, everything else (warm-up failures,
 // corrupt artifacts) 422 — the request was well-formed but the artifact or
 // state cannot be processed.
-func adminError(w http.ResponseWriter, err error) {
-	code := http.StatusUnprocessableEntity
+func (s *Server) adminError(w http.ResponseWriter, err error) {
+	status, code := http.StatusUnprocessableEntity, ErrCodeUnprocessable
 	switch {
 	case errors.Is(err, ErrUnknownVersion):
-		code = http.StatusNotFound
+		status, code = http.StatusNotFound, ErrCodeUnknownVersion
 	case errors.Is(err, ErrLifecycleConflict):
-		code = http.StatusConflict
+		status, code = http.StatusConflict, ErrCodeConflict
 	}
-	http.Error(w, err.Error(), code)
+	s.writeError(w, false, status, code, err.Error(), 0)
 }
 
 type adminVersionRequest struct {
 	Version string `json:"version"`
 }
 
-func decodeAdminVersion(w http.ResponseWriter, r *http.Request) (string, bool) {
+func (s *Server) decodeAdminVersion(w http.ResponseWriter, r *http.Request) (string, bool) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var req adminVersionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.writeError(w, false, http.StatusBadRequest, ErrCodeBadInput, "bad request: "+err.Error(), 0)
 		return "", false
 	}
 	if req.Version == "" {
-		http.Error(w, `bad request: missing "version"`, http.StatusBadRequest)
+		s.writeError(w, false, http.StatusBadRequest, ErrCodeBadInput, `bad request: missing "version"`, 0)
 		return "", false
 	}
 	return req.Version, true
@@ -115,7 +116,7 @@ func decodeAdminVersion(w http.ResponseWriter, r *http.Request) (string, bool) {
 func (s *Server) handleAdminList(w http.ResponseWriter, _ *http.Request) {
 	vs, err := s.cfg.Admin.Versions()
 	if err != nil {
-		adminError(w, err)
+		s.adminError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -123,12 +124,12 @@ func (s *Server) handleAdminList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
-	v, ok := decodeAdminVersion(w, r)
+	v, ok := s.decodeAdminVersion(w, r)
 	if !ok {
 		return
 	}
 	if err := s.cfg.Admin.Load(v); err != nil {
-		adminError(w, err)
+		s.adminError(w, err)
 		return
 	}
 	s.Log("serve: admin loaded model version %s", v)
@@ -137,12 +138,12 @@ func (s *Server) handleAdminLoad(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
-	v, ok := decodeAdminVersion(w, r)
+	v, ok := s.decodeAdminVersion(w, r)
 	if !ok {
 		return
 	}
 	if err := s.cfg.Admin.Promote(v); err != nil {
-		adminError(w, err)
+		s.adminError(w, err)
 		return
 	}
 	s.Log("serve: admin promoted model version %s", v)
@@ -153,7 +154,7 @@ func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAdminRollback(w http.ResponseWriter, _ *http.Request) {
 	desc, err := s.cfg.Admin.Rollback()
 	if err != nil {
-		adminError(w, err)
+		s.adminError(w, err)
 		return
 	}
 	s.Log("serve: admin rollback: %s", desc)

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -167,32 +166,6 @@ func TestAdminAbsentWithoutConfig(t *testing.T) {
 		t.Fatalf("admin surface present without Config.Admin: status %d", w.Code)
 	}
 }
-
-func TestRetryAfterDerivedFromPressure(t *testing.T) {
-	// Idle server: the hint must be a positive integer no matter the jitter.
-	s := stubServer(t, Config{MaxInFlight: 4})
-	for i := 0; i < 50; i++ {
-		sec, err := strconv.Atoi(s.retryAfter())
-		if err != nil || sec < 1 {
-			t.Fatalf("idle Retry-After %q", s.retryAfter())
-		}
-		if sec > 2 { // base 1 ± 1s jitter
-			t.Fatalf("idle Retry-After %d too far out", sec)
-		}
-	}
-	// Saturated server: the base rises to 4, so even the lowest jitter stays
-	// above the idle hint — retries back off harder when pressure is real.
-	for i := 0; i < 4; i++ {
-		s.sem <- struct{}{}
-	}
-	for i := 0; i < 50; i++ {
-		sec, _ := strconv.Atoi(s.retryAfter())
-		if sec < 3 || sec > 5 {
-			t.Fatalf("saturated Retry-After %d, want 3..5", sec)
-		}
-	}
-}
-
 func TestRouteKeyDeterministicAndSensitive(t *testing.T) {
 	a := validRequest()
 	b := validRequest()
@@ -214,7 +187,7 @@ func TestProviderPinFlowsToResponse(t *testing.T) {
 	// A provider-labeled pin must surface in the response wire format and
 	// reach the Observe hook with the terminal outcome.
 	var observed []string
-	p := staticProvider{pin: Pinned{
+	p := StaticProvider(Pinned{
 		Scorer:   stubScorer{},
 		Manifest: Manifest{Dataset: "test", Config: testConfig()},
 		Version:  "v7",
@@ -222,7 +195,7 @@ func TestProviderPinFlowsToResponse(t *testing.T) {
 		Observe: func(outcome string, d time.Duration) {
 			observed = append(observed, outcome)
 		},
-	}}
+	})
 	s := NewProviderServer(p, Config{})
 	s.Log = t.Logf
 	body, _ := json.Marshal(validRequest())

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rerank"
+)
+
+// This file re-exports the engine's transport-neutral surface under the
+// names the serve package historically owned. The scoring data plane —
+// micro-batching, provider pinning, deadlines, degradation, the state cache,
+// tenancy — moved to internal/engine so frontends other than HTTP (the
+// binary protocol, embedded callers) can share one implementation; type
+// aliases keep every existing import of internal/serve compiling and keep
+// serve's wire types and engine's request types interchangeable values, not
+// conversions.
+
+// Scorer is the model-side contract; see engine.Scorer.
+type Scorer = engine.Scorer
+
+// BatchScorer is the optional batched contract; see engine.BatchScorer.
+type BatchScorer = engine.BatchScorer
+
+// StateScorer is the optional encoded-user-state contract; see
+// engine.StateScorer.
+type StateScorer = engine.StateScorer
+
+// Adapt wraps a legacy context-free reranker as a Scorer.
+func Adapt(r rerank.Reranker) Scorer { return engine.Adapt(r) }
+
+// Manifest describes a saved model; see engine.Manifest.
+type Manifest = engine.Manifest
+
+// Pinned is one coherent serving assignment; see engine.Pinned.
+type Pinned = engine.Pinned
+
+// Provider hands the server a model per request; see engine.Provider.
+type Provider = engine.Provider
+
+// StaticProvider wraps one fixed pin as a Provider.
+func StaticProvider(pin Pinned) Provider { return engine.StaticProvider(pin) }
+
+// BatchConfig bounds the micro-batching coalescer; see engine.BatchConfig.
+type BatchConfig = engine.BatchConfig
+
+// FaultInjector is the chaos-testing seam; see engine.FaultInjector.
+type FaultInjector = engine.FaultInjector
+
+// AfterScoreInjector optionally corrupts successful outcomes; see
+// engine.AfterScoreInjector.
+type AfterScoreInjector = engine.AfterScoreInjector
+
+// FaultFunc adapts a function to FaultInjector.
+type FaultFunc = engine.FaultFunc
+
+// AfterScoreFunc bundles before/after hooks; see engine.FaultHooks.
+type AfterScoreFunc = engine.AfterScoreFunc
+
+// FaultHooks bundles a FaultFunc with an after-score hook.
+type FaultHooks = engine.FaultHooks
+
+// RerankRequest is the wire format of POST /rerank and /v1/rerank — the
+// engine's transport-neutral Request, decoded from JSON by this frontend.
+type RerankRequest = engine.Request
+
+// RerankItem is one candidate of the initial list.
+type RerankItem = engine.Item
+
+// SeqItemWire is one entry of a per-topic behavior sequence.
+type SeqItemWire = engine.SeqItem
+
+// RerankResponse is the wire format of a rerank reply — the engine's
+// Response, encoded to JSON by this frontend.
+type RerankResponse = engine.Response
+
+// FeedbackEvent is the wire format of POST /v1/feedback.
+type FeedbackEvent = engine.FeedbackEvent
+
+// FeedbackSink is the seam to the feedback subsystem; see
+// engine.FeedbackSink.
+type FeedbackSink = engine.FeedbackSink
+
+// ErrFeedbackBusy reports a full feedback ingest queue; the handler sheds
+// the event with 429 + Retry-After.
+var ErrFeedbackBusy = engine.ErrFeedbackBusy
+
+// StateKey identifies one cached user state; see engine.StateKey.
+type StateKey = engine.StateKey
+
+// StateCache is the memory-budgeted LRU of encoded user states.
+type StateCache = engine.StateCache
+
+// Stats are the engine's operational counters, exported on /healthz.
+type Stats = engine.Stats
+
+// TenantSource resolves tenant names to providers; see engine.TenantSource.
+type TenantSource = engine.TenantSource
+
+// StaticTenants is a fixed tenant table; see engine.StaticTenants.
+type StaticTenants = engine.StaticTenants
+
+// Limits and labels shared with the engine.
+const (
+	MaxListLength    = engine.MaxListLength
+	MaxBatchRequests = engine.MaxBatchRequests
+	MaxDim           = engine.MaxDim
+	MaxRequestIDLen  = engine.MaxRequestIDLen
+	DefaultTenant    = engine.DefaultTenant
+
+	ShedBackpressure = engine.ShedBackpressure
+	ShedDraining     = engine.ShedDraining
+	ShedTenantQuota  = engine.ShedTenantQuota
+)
+
+// RouteKey derives the deterministic canary routing key for a request.
+func RouteKey(req *RerankRequest) uint64 { return engine.RouteKey(req) }
+
+// HistoryKey hashes the inputs the user-preference encoder consumes.
+func HistoryKey(req *RerankRequest) uint64 { return engine.HistoryKey(req) }
+
+// ToInstance validates the wire request against the model geometry and
+// assembles a rerank.Instance.
+func ToInstance(cfg core.Config, req *RerankRequest) (*rerank.Instance, error) {
+	return engine.ToInstance(cfg, req)
+}
+
+// FallbackOrder is the graceful-degradation ranking.
+func FallbackOrder(inst *rerank.Instance) ([]int, []float64) {
+	return engine.FallbackOrder(inst)
+}
+
+// ManifestPath derives the manifest's path from the weights path.
+func ManifestPath(modelPath string) string { return engine.ManifestPath(modelPath) }
+
+// ValidateConfig rejects a manifest config that could never describe a
+// servable model.
+func ValidateConfig(cfg core.Config) error { return engine.ValidateConfig(cfg) }
+
+// LoadModel reads the manifest next to modelPath and loads the weights
+// strictly.
+func LoadModel(modelPath string) (*core.Model, Manifest, error) {
+	return engine.LoadModel(modelPath)
+}
+
+// ReadManifest reads and validates the manifest next to modelPath without
+// touching weights.
+func ReadManifest(modelPath string) (Manifest, error) { return engine.ReadManifest(modelPath) }
+
+// LoadScorer is the version-agnostic load path the registry uses.
+func LoadScorer(modelPath string) (Scorer, Manifest, error) {
+	return engine.LoadScorer(modelPath)
+}
+
+// WriteManifestFileAtomic writes a manifest with the weights' atomic
+// discipline.
+func WriteManifestFileAtomic(path string, man Manifest) error {
+	return engine.WriteManifestFileAtomic(path, man)
+}
+
+// decodeManifest keeps the fuzz harness driving the exact parse stage a
+// hostile manifest reaches.
+func decodeManifest(r io.Reader) (Manifest, error) { return engine.DecodeManifest(r) }

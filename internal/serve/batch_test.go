@@ -8,39 +8,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/rerank"
 )
-
-// offsetStub is a comparable Scorer+BatchScorer whose output encodes which
-// scorer produced it, so a batch that mixed pins would be visible in the
-// scores themselves.
-type offsetStub struct{ offset float64 }
-
-func (o offsetStub) Name() string { return fmt.Sprintf("offset-%v", o.offset) }
-func (o offsetStub) Score(_ context.Context, inst *rerank.Instance) ([]float64, error) {
-	out := make([]float64, len(inst.Items))
-	for i := range out {
-		out[i] = o.offset + inst.InitScores[i]
-	}
-	return out, nil
-}
-func (o offsetStub) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error) {
-	out := make([][]float64, len(insts))
-	for i, inst := range insts {
-		s, err := o.Score(ctx, inst)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
-	}
-	return out, nil
-}
 
 // TestV1RerankAliasIdenticalBodies: POST /rerank and POST /v1/rerank are the
 // same endpoint — identical request, identical response body (modulo the
@@ -178,157 +151,6 @@ func TestHandleRerankBatchPerItemDegraded(t *testing.T) {
 	// Degradation contract per item: initial order, init scores.
 	if got.Ranked[0] != 17 || got.Scores[0] != 0.9 {
 		t.Fatalf("degraded item did not fall back to initial order: %+v", got)
-	}
-}
-
-// TestCoalescerMaxWaitBound: with the server busy (idle fast path defeated),
-// a lone request dispatches when its MaxWait window closes — never sooner
-// than the window, never later than window + slack.
-func TestCoalescerMaxWaitBound(t *testing.T) {
-	const maxWait = 20 * time.Millisecond
-	s := stubServer(t, Config{
-		MaxInFlight: 16,
-		Batch:       BatchConfig{MaxBatch: 16, MaxWait: maxWait},
-	})
-	// Two occupied slots defeat the idle fast path (len(sem) > 1).
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
-	inst, err := ToInstance(testConfig(), validRequest())
-	if err != nil {
-		t.Fatal(err)
-	}
-	pin := Pinned{Scorer: offsetStub{offset: 1}, Version: "v1"}
-
-	s.sem <- struct{}{} // the job's own slot, released by the worker
-	start := time.Now()
-	done := s.batch.submit(context.Background(), pin, inst)
-	select {
-	case out := <-done:
-		elapsed := time.Since(start)
-		if out.err != nil {
-			t.Fatal(out.err)
-		}
-		if elapsed < maxWait/2 {
-			t.Fatalf("partial batch dispatched after %v, before the %v wait window", elapsed, maxWait)
-		}
-		if elapsed > maxWait+time.Second {
-			t.Fatalf("request waited %v, far past MaxWait %v", elapsed, maxWait)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("request never completed")
-	}
-}
-
-// TestCoalescerFullBatchDispatchesEarly: MaxBatch jobs in hand dispatch
-// immediately — nobody waits out a long MaxWait window once the batch is
-// full.
-func TestCoalescerFullBatchDispatchesEarly(t *testing.T) {
-	const batch = 4
-	s := stubServer(t, Config{
-		MaxInFlight: 16,
-		Batch:       BatchConfig{MaxBatch: batch, MaxWait: 5 * time.Second},
-	})
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
-	inst, err := ToInstance(testConfig(), validRequest())
-	if err != nil {
-		t.Fatal(err)
-	}
-	pin := Pinned{Scorer: offsetStub{offset: 1}, Version: "v1"}
-
-	start := time.Now()
-	dones := make([]<-chan scoreOutcome, batch)
-	for i := range dones {
-		s.sem <- struct{}{}
-		dones[i] = s.batch.submit(context.Background(), pin, inst)
-	}
-	for i, done := range dones {
-		select {
-		case out := <-done:
-			if out.err != nil {
-				t.Fatalf("job %d: %v", i, out.err)
-			}
-		case <-time.After(2 * time.Second):
-			t.Fatalf("job %d still waiting %v after the batch filled", i, time.Since(start))
-		}
-	}
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("full batch took %v; it must not wait out MaxWait", elapsed)
-	}
-}
-
-// TestCoalescerChurnExactlyOneOutcome is the coalescer's property test; run
-// with -race. Many goroutines submit against two distinct (scorer, version)
-// pins at once. Every submission must receive exactly one outcome, and the
-// scores must carry its own pin's offset — a batch that mixed pins or a
-// dropped/duplicated delivery would fail here.
-func TestCoalescerChurnExactlyOneOutcome(t *testing.T) {
-	s := stubServer(t, Config{
-		MaxInFlight: 64,
-		Batch:       BatchConfig{MaxBatch: 4, MaxWait: time.Millisecond},
-	})
-	// Keep the server permanently "busy" so submissions coalesce.
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
-	inst, err := ToInstance(testConfig(), validRequest())
-	if err != nil {
-		t.Fatal(err)
-	}
-	pins := []Pinned{
-		{Scorer: offsetStub{offset: 100}, Version: "v1"},
-		{Scorer: offsetStub{offset: 200}, Version: "v2"},
-	}
-
-	const (
-		workers = 8
-		perW    = 50
-	)
-	var delivered atomic.Int64
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < perW; i++ {
-				pin := pins[(g+i)%len(pins)]
-				s.sem <- struct{}{}
-				done := s.batch.submit(context.Background(), pin, inst)
-				select {
-				case out := <-done:
-					if out.err != nil {
-						t.Errorf("worker %d job %d: %v", g, i, out.err)
-						return
-					}
-					wantOffset := 100.0 * float64(1+(g+i)%len(pins))
-					if out.scores[0] != wantOffset+inst.InitScores[0] {
-						t.Errorf("pin mixed into foreign batch: got %v, want offset %v",
-							out.scores[0], wantOffset)
-						return
-					}
-					delivered.Add(1)
-				case <-time.After(5 * time.Second):
-					t.Errorf("worker %d job %d: outcome never delivered", g, i)
-					return
-				}
-				// done is buffered with capacity 1; a duplicate delivery
-				// would be waiting here.
-				select {
-				case out := <-done:
-					t.Errorf("worker %d job %d: duplicate outcome %+v", g, i, out)
-					return
-				default:
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	if got := delivered.Load(); got != workers*perW {
-		t.Fatalf("%d of %d submissions answered", got, workers*perW)
-	}
-	// The two sentinel tokens are all that remain once every job released
-	// its slot: no slot was leaked or double-released.
-	if got := len(s.sem); got != 2 {
-		t.Fatalf("%d slots still held after drain, want the 2 sentinels", got)
 	}
 }
 
@@ -497,25 +319,6 @@ func TestNonComparableScorerFallsBack(t *testing.T) {
 			t.Fatalf("item %d did not score: %+v", i, item)
 		}
 	}
-
-	// The coalescing path proper (server busy, map keyed by scorer): the
-	// job must dispatch solo rather than panic on the non-comparable key.
-	s.sem <- struct{}{}
-	s.sem <- struct{}{}
-	inst, err := ToInstance(testConfig(), validRequest())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s.sem <- struct{}{}
-	done := s.batch.submit(context.Background(), Pinned{Scorer: fs, Version: "v1"}, inst)
-	select {
-	case out := <-done:
-		if out.err != nil {
-			t.Fatalf("coalesced submit with non-comparable scorer: %v", out.err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("non-comparable scorer job never completed")
-	}
 }
 
 // TestBatchEnvelopeTerminalStatus: the envelope's responses_total status
@@ -524,9 +327,9 @@ func TestNonComparableScorerFallsBack(t *testing.T) {
 func TestBatchEnvelopeTerminalStatus(t *testing.T) {
 	s := stubServer(t, Config{})
 	h := s.Handler()
-	ok := s.met.responses.With("ok")
-	badInput := s.met.responses.With("bad_input")
-	degraded := s.met.responses.With("degraded")
+	ok := s.met.Responses.With("ok")
+	badInput := s.met.Responses.With("bad_input")
+	degraded := s.met.Responses.With("degraded")
 
 	bad := validRequest()
 	bad.UserFeatures = []float64{0.1} // wrong geometry
@@ -585,10 +388,10 @@ func TestClientCancelCountsCanceled(t *testing.T) {
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
 
-	if got := s.met.responses.With("canceled").Value(); got != 1 {
+	if got := s.met.Responses.With("canceled").Value(); got != 1 {
 		t.Fatalf("responses{canceled} = %d, want 1", got)
 	}
-	if got := s.met.degraded.Total(); got != 0 {
+	if got := s.met.Degraded.Total(); got != 0 {
 		t.Fatalf("client cancel recorded %d degradations, want 0", got)
 	}
 	if w.Body.Len() != 0 {

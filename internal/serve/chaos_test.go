@@ -184,7 +184,7 @@ func TestServeDrainsInFlight(t *testing.T) {
 
 	// Give Shutdown a moment to begin, then let scoring finish.
 	time.Sleep(20 * time.Millisecond)
-	if s.ready.Load() {
+	if !s.Draining() {
 		t.Error("server still ready while draining")
 	}
 	close(release)

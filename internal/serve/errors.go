@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+)
+
+// ErrorBody is the unified v1 error envelope: every non-2xx answer on
+// /v1/rerank, /v1/rerank:batch, /v1/feedback and the admin routes carries
+// {"error": {"code", "message", "retry_after_s"}}. Code is a stable
+// machine-readable label (see the ErrCode* constants); Message is for
+// humans and may change; RetryAfterS mirrors the Retry-After header on
+// retryable (shed) errors so programmatic clients need not parse headers.
+// The deprecated /rerank alias keeps its original plain-text bodies.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope payload.
+type ErrorDetail struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// Stable error codes of the v1 surface.
+const (
+	ErrCodeBadInput       = "bad_input"       // malformed or geometry-mismatched request (400)
+	ErrCodeTooLarge       = "too_large"       // body over MaxBodyBytes (413)
+	ErrCodeOverloaded     = "overloaded"      // shed: backpressure or tenant quota (429)
+	ErrCodeDraining       = "draining"        // shed: replica going away (503)
+	ErrCodeUnknownTenant  = "unknown_tenant"  // request named a tenant the server cannot serve (404)
+	ErrCodeUnknownVersion = "unknown_version" // admin: version not found (404)
+	ErrCodeConflict       = "conflict"        // admin: lifecycle state conflict (409)
+	ErrCodeUnprocessable  = "unprocessable"   // admin: artifact or state cannot be processed (422)
+	ErrCodeForbidden      = "forbidden"       // admin guard rejected the caller (403)
+	ErrCodeInternal       = "internal"        // recovered handler bug (500)
+)
+
+// writeError answers with the v1 envelope, or — on the deprecated /rerank
+// alias — the pre-envelope plain-text body, byte-identical to what the
+// alias has always returned.
+func (s *Server) writeError(w http.ResponseWriter, legacy bool, status int, code, msg string, retryAfterS int) {
+	if legacy {
+		http.Error(w, msg, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: msg, RetryAfterS: retryAfterS}})
+}
+
+// writeEngineError maps the engine's typed errors onto the HTTP surface:
+// *BadInputError → 400, *UnknownTenantError → 404, *ShedError → 429/503
+// with Retry-After and X-Shed-Reason, ErrCanceled → nothing (the client is
+// gone), anything else → 500. The engine has already accounted the request;
+// this only shapes the answer.
+func (s *Server) writeEngineError(w http.ResponseWriter, legacy bool, err error) {
+	var bad *engine.BadInputError
+	var shed *engine.ShedError
+	var tenant *engine.UnknownTenantError
+	switch {
+	case errors.Is(err, engine.ErrCanceled):
+		// Client disconnected mid-request; nothing to answer.
+	case errors.As(err, &bad):
+		s.writeError(w, legacy, http.StatusBadRequest, ErrCodeBadInput, bad.Msg, 0)
+	case errors.As(err, &tenant):
+		s.writeError(w, legacy, http.StatusNotFound, ErrCodeUnknownTenant, err.Error(), 0)
+	case errors.As(err, &shed):
+		w.Header().Set(ShedReasonHeader, shed.Reason)
+		w.Header().Set("Retry-After", strconv.Itoa(shed.RetryAfterS))
+		if shed.Reason == ShedDraining {
+			s.writeError(w, legacy, http.StatusServiceUnavailable, ErrCodeDraining,
+				"draining, replica going away", shed.RetryAfterS)
+			return
+		}
+		s.writeError(w, legacy, http.StatusTooManyRequests, ErrCodeOverloaded,
+			"overloaded, retry later", shed.RetryAfterS)
+	default:
+		s.Log("serve: unexpected engine error: %v", err)
+		s.writeError(w, legacy, http.StatusInternalServerError, ErrCodeInternal, "internal error", 0)
+	}
+}

@@ -3,101 +3,52 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
-
-// MaxRequestIDLen caps the request_id echoed in feedback events; server-issued
-// ids are far shorter, so anything longer is a hostile or corrupted client.
-const MaxRequestIDLen = 128
-
-// FeedbackEvent is the wire format of POST /v1/feedback: one observed
-// outcome for a previously served re-rank response. Items is the displayed
-// order (normally the response's Ranked); Clicks is aligned with Items and
-// may be shorter (missing positions are skips). An event with no true click
-// is an impression — skip/abandon signal matters to the click model too.
-type FeedbackEvent struct {
-	// RequestID echoes the request_id of the /v1/rerank response the event
-	// reports on; the ingestor joins it back to the served (route, version).
-	RequestID string `json:"request_id"`
-	Items     []int  `json:"items"`
-	Clicks    []bool `json:"clicks,omitempty"`
-	// ModelVersion optionally echoes the response's model_version; the
-	// server-side correlation wins when both are present (the client copy is
-	// advisory and unauthenticated).
-	ModelVersion string `json:"model_version,omitempty"`
-}
-
-// FeedbackSink is the seam between the serving data plane and the feedback
-// subsystem (internal/feedback implements it). Both methods are called on
-// request handlers and must not block: Track records which (route, version)
-// a response was served from, Submit enqueues an ingested event and reports
-// ErrFeedbackBusy when the bounded ingest queue is full — the handler
-// answers 429, mirroring the rerank backpressure contract.
-type FeedbackSink interface {
-	Track(requestID string, route uint64, version string)
-	Submit(ev FeedbackEvent) error
-}
-
-// ErrFeedbackBusy is returned by FeedbackSink.Submit when the ingest queue
-// is full; the handler sheds the event with 429 + Retry-After.
-var ErrFeedbackBusy = errors.New("feedback ingest queue full")
-
-// Validate applies the wire-level invariants shared by the HTTP handler and
-// the decode fuzz target.
-func (ev *FeedbackEvent) Validate() error {
-	switch {
-	case ev.RequestID == "":
-		return fmt.Errorf("request_id is required")
-	case len(ev.RequestID) > MaxRequestIDLen:
-		return fmt.Errorf("request_id exceeds %d bytes", MaxRequestIDLen)
-	case len(ev.Items) == 0:
-		return fmt.Errorf("items is required")
-	case len(ev.Items) > MaxListLength:
-		return fmt.Errorf("event has %d items, limit is %d", len(ev.Items), MaxListLength)
-	case len(ev.Clicks) > len(ev.Items):
-		return fmt.Errorf("clicks has %d entries for %d items", len(ev.Clicks), len(ev.Items))
-	}
-	return nil
-}
 
 // handleFeedback serves POST /v1/feedback. Mounted only when Config.Feedback
 // is set. Contract mirrors the v1 rerank surface: draining answers 503,
-// malformed input 400, a full ingest queue 429 + Retry-After, and an
-// accepted event 202 — acceptance means durably queued for ingestion, not
-// yet applied to the click model.
+// malformed input 400, a full ingest queue 429 + Retry-After — all in the
+// unified error envelope — and an accepted event 202. Acceptance means
+// durably queued for ingestion, not yet applied to the click model.
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
-		s.met.feedback.With("shed").Inc()
+	if s.Draining() {
+		s.met.Feedback.With("shed").Inc()
 		w.Header().Set(ShedReasonHeader, ShedDraining)
-		http.Error(w, "draining, replica going away", http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(s.DrainWindow()/time.Second))))
+		s.writeError(w, false, http.StatusServiceUnavailable, ErrCodeDraining,
+			"draining, replica going away", max(1, int(s.DrainWindow()/time.Second)))
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var ev FeedbackEvent
 	if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
-		s.met.feedback.With("bad_input").Inc()
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.met.Feedback.With("bad_input").Inc()
+		s.writeError(w, false, http.StatusBadRequest, ErrCodeBadInput, "bad request: "+err.Error(), 0)
 		return
 	}
 	if err := ev.Validate(); err != nil {
-		s.met.feedback.With("bad_input").Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.met.Feedback.With("bad_input").Inc()
+		s.writeError(w, false, http.StatusBadRequest, ErrCodeBadInput, err.Error(), 0)
 		return
 	}
 	if err := s.cfg.Feedback.Submit(ev); err != nil {
 		if errors.Is(err, ErrFeedbackBusy) {
-			s.met.feedback.With("shed").Inc()
+			s.met.Feedback.With("shed").Inc()
+			retry := s.RetryAfterS()
 			w.Header().Set(ShedReasonHeader, ShedBackpressure)
-			w.Header().Set("Retry-After", s.retryAfter())
-			http.Error(w, "feedback ingestion overloaded, retry later", http.StatusTooManyRequests)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.writeError(w, false, http.StatusTooManyRequests, ErrCodeOverloaded,
+				"feedback ingestion overloaded, retry later", retry)
 			return
 		}
-		s.met.feedback.With("error").Inc()
-		http.Error(w, "feedback ingestion failed", http.StatusInternalServerError)
+		s.met.Feedback.With("error").Inc()
+		s.writeError(w, false, http.StatusInternalServerError, ErrCodeInternal, "feedback ingestion failed", 0)
 		return
 	}
-	s.met.feedbackOK.Inc()
+	s.met.FeedbackOK.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	_, _ = w.Write([]byte("{\"accepted\":true}\n"))

@@ -113,7 +113,7 @@ func TestFeedbackHandlerSinkError(t *testing.T) {
 
 func TestFeedbackHandlerDraining(t *testing.T) {
 	s := testServer(t, Config{Feedback: &recordingSink{}})
-	s.ready.Store(false)
+	s.SetDraining(true)
 	w := postFeedback(t, s.Handler(), mustJSON(t, FeedbackEvent{RequestID: "x", Items: []int{1}}))
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", w.Code)

@@ -1,123 +1,58 @@
-// Package serve is the hardened HTTP serving layer for a trained RAPID
-// model. The paper's efficiency analysis (Section V-B) positions re-ranking
-// as a stage inside an industrial response budget (~50 ms); a stage in that
-// position must degrade, shed or drain — never stall or crash the chain it
-// sits in. The server therefore enforces, per request:
+// Package serve is the hardened HTTP frontend for the RAPID scoring engine
+// (internal/engine). The engine owns the scoring data plane — deadlines,
+// graceful degradation, bounded concurrency, micro-batching, provider
+// pinning, the encoded-state cache and multi-tenancy; this package owns only
+// what is HTTP: routing, JSON decode/encode, request-size caps, the mapping
+// from the engine's typed errors onto status codes and the unified error
+// envelope, panic recovery in the handler chain, probes, the /metrics
+// exposition, the admin control-plane routes and the http.Server lifecycle
+// (timeouts, graceful drain).
 //
-//   - a scoring deadline (Config.Budget) with graceful degradation: on
-//     overrun, scoring error or recovered scoring panic the response falls
-//     back to the initial-ranker ordering and is marked "degraded" instead
-//     of erroring;
-//   - bounded concurrency: a semaphore with a bounded queue wait sheds
-//     excess load with 429 + Retry-After rather than queueing unboundedly;
-//   - panic recovery: a bug anywhere in the handler chain yields a 500,
-//     never a process death;
-//   - request-size caps via http.MaxBytesReader;
+// Surfaces:
 //
-// and, per process: an http.Server with read/write/idle timeouts, a /readyz
-// probe (distinct from /healthz liveness) that flips unready during drain,
-// and graceful shutdown that completes in-flight requests before exit.
+//   - POST /v1/rerank (and its deprecated byte-compatible alias POST
+//     /rerank), POST /v1/rerank:batch — the scoring endpoints;
+//   - POST /v1/feedback — outcome ingestion, mounted when Config.Feedback
+//     is set;
+//   - GET /healthz, /readyz, /metrics, optional /debug/pprof/ and
+//     /admin/models lifecycle routes.
 //
-// Every hot-path event lands in an internal/obs registry exported on
-// GET /metrics (Prometheus text format): requests and responses by status,
-// degradations by reason, shed and panic counts, queue-wait / scoring /
-// end-to-end latency histograms and an in-flight gauge. Config.Pprof
-// additionally mounts net/http/pprof under /debug/pprof/.
+// Errors on the v1 surface share one JSON envelope, {"error": {"code",
+// "message", "retry_after_s"}}; the legacy /rerank alias keeps its original
+// plain-text error bodies so pre-v1 clients never see a format change, and
+// answers with a Deprecation header plus a rapid_http_legacy_requests_total
+// counter so its remaining callers can be found and migrated.
 //
-// The server scores through a Provider — a per-request (model, manifest,
-// version) pin — so a model lifecycle layer (internal/registry) can swap,
-// canary and shadow versions underneath live traffic; NewServer wraps a
-// fixed model in a static provider for the single-model shape.
+// A second, non-HTTP frontend for fleet-internal callers lives in
+// internal/serve/binproto: the same engine behind a length-prefixed binary
+// protocol. Config.BinaryListener serves it from the same Server.
 package serve
 
 import (
 	"context"
-	crand "crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
-	"math/rand/v2"
 	"net"
 	"net/http"
-	"runtime"
-	"strconv"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/mat"
+	"repro/internal/engine"
 	"repro/internal/obs"
-	"repro/internal/rerank"
 )
 
-// MaxListLength caps the number of candidates in one re-rank request.
-// Re-ranking operates on the final stage's short list (the paper's lists are
-// tens of items); a four-digit list is a malformed or hostile request, and
-// the Bi-LSTM's O(L) step chain would blow the budget anyway.
-const MaxListLength = 1024
-
-// Scorer is the model-side contract the server needs: score an instance
-// under a context, name the model. Score must honor ctx — when the deadline
-// fires or the caller cancels, it stops working and returns ctx's error
-// rather than burning CPU on an abandoned request. *core.Model implements
-// it; tests substitute stubs; Adapt wraps legacy context-free rerankers.
-//
-// Scorer implementations should be comparable (pointer receivers or small
-// value types): the micro-batching coalescer groups in-flight requests by
-// (scorer, version) identity. A scorer whose dynamic type does not support
-// == is detected at submission and scored unbatched instead.
-type Scorer interface {
-	Score(ctx context.Context, inst *rerank.Instance) ([]float64, error)
-	Name() string
-}
-
-// BatchScorer is the optional batched contract: score B instances in one
-// pass, returning one score slice per instance in input order. The serving
-// layer batches through this interface when a coalesced batch holds more
-// than one request; scorers without it are scored per instance.
-type BatchScorer interface {
-	Scorer
-	ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error)
-}
-
-// Adapt wraps a legacy context-free reranker (the rerank.Reranker contract)
-// as a Scorer. The adapter checks the context between instances, so batch
-// scoring through it still observes cancellation at instance granularity.
-func Adapt(r rerank.Reranker) Scorer { return &adapter{r: r} }
-
-type adapter struct{ r rerank.Reranker }
-
-func (a *adapter) Name() string { return a.r.Name() }
-
-func (a *adapter) Score(ctx context.Context, inst *rerank.Instance) ([]float64, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return a.r.Scores(inst), nil
-}
-
-func (a *adapter) ScoreBatch(ctx context.Context, insts []*rerank.Instance) ([][]float64, error) {
-	out := make([][]float64, len(insts))
-	for i, inst := range insts {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		out[i] = a.r.Scores(inst)
-	}
-	return out, nil
-}
-
 // Config bounds the server's resource envelope. The zero value is usable:
-// every field falls back to the listed default.
+// every field falls back to the listed default. The scoring-side fields
+// (Budget, MaxInFlight, QueueWait, Batch, StateCacheBytes, Feedback,
+// Tenants, TenantMaxInFlight) are handed to the engine verbatim; the rest is
+// HTTP-frontend configuration.
 type Config struct {
 	// Budget is the per-request scoring deadline (default 50ms, the
 	// industrial response budget of Section V-B). On overrun the request
 	// degrades to the initial-ranker ordering.
 	Budget time.Duration
 	// MaxInFlight bounds concurrently executing scoring passes (default
-	// 4×GOMAXPROCS). Scoring is CPU-bound; admitting more than a small
-	// multiple of the cores only grows tail latency.
+	// 4×GOMAXPROCS).
 	MaxInFlight int
 	// QueueWait is how long an admission may wait for a scoring slot before
 	// the request is shed with 429 (default 10ms).
@@ -148,33 +83,28 @@ type Config struct {
 	// loopback peers instead — model swapping is never unauthenticated on a
 	// non-local listener.
 	AdminToken string
-	// Batch bounds the micro-batching coalescer; see BatchConfig. The zero
-	// value enables batching with the defaults (16 / 2ms); set MaxBatch to 1
-	// to score strictly per request.
+	// Batch bounds the micro-batching coalescer; see BatchConfig.
 	Batch BatchConfig
-	// StateCacheBytes is the memory budget for the encoded user-state cache
-	// (the repeat-user fast path). 0, the default, disables the cache. The
-	// cache only engages for scorers implementing StateScorer; wire
-	// Server.FlushStateCache to the model lifecycle (Registry.SetOnSwap) so a
-	// promote or rollback can never serve a stale state.
+	// StateCacheBytes is the memory budget for the encoded user-state cache;
+	// 0 disables it. See engine.Config.StateCacheBytes.
 	StateCacheBytes int64
 	// Feedback, when set, mounts POST /v1/feedback backed by this sink and
 	// correlates every rerank response's request_id to its served (route,
-	// version) pair via Track. nil (the default) exposes no feedback surface;
-	// responses still carry request ids either way.
+	// version) pair. nil exposes no feedback surface.
 	Feedback FeedbackSink
+	// Tenants resolves the request "tenant" field to additional resident
+	// scorers; see engine.Config.Tenants. nil rejects every named tenant.
+	Tenants TenantSource
+	// TenantMaxInFlight bounds concurrently admitted single-rerank requests
+	// per tenant; see engine.Config.TenantMaxInFlight. 0 disables quotas.
+	TenantMaxInFlight int
+	// BinaryListener, when set, additionally serves the fleet-internal
+	// binary protocol (internal/serve/binproto) on this listener from the
+	// same engine; Serve owns the listener and drains it with the HTTP side.
+	BinaryListener net.Listener
 }
 
 func (c Config) withDefaults() Config {
-	if c.Budget <= 0 {
-		c.Budget = 50 * time.Millisecond
-	}
-	if c.MaxInFlight <= 0 {
-		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
-	}
-	if c.QueueWait <= 0 {
-		c.QueueWait = 10 * time.Millisecond
-	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -190,196 +120,31 @@ func (c Config) withDefaults() Config {
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 60 * time.Second
 	}
-	if c.Batch.MaxBatch <= 0 {
-		c.Batch.MaxBatch = 16
-	}
-	if c.Batch.MaxWait <= 0 {
-		c.Batch.MaxWait = 2 * time.Millisecond
-	}
-	if c.Batch.Workers <= 0 {
-		c.Batch.Workers = max(2, runtime.GOMAXPROCS(0))
-	}
 	return c
 }
-
-// Stats are the server's operational counters, exported on /healthz. The
-// same numbers back the /metrics exposition: both views read the one set of
-// registry atomics, so they can never disagree (the previous revision kept a
-// parallel set of counters that /healthz read field-by-field).
-type Stats struct {
-	Requests  int64 `json:"requests"`
-	Degraded  int64 `json:"degraded"`
-	Shed      int64 `json:"shed"`
-	Panics    int64 `json:"panics_recovered"`
-	BadInput  int64 `json:"bad_input"`
-	Responses int64 `json:"responses_ok"`
-}
-
-// serveMetrics is the serving-side metric set, registered on one
-// obs.Registry. Counters are the source of truth for Stats.
-type serveMetrics struct {
-	requests    *obs.Counter
-	responses   *obs.CounterVec // terminal status per request
-	responsesOK *obs.Counter    // cached responses.With("ok")
-	degraded    *obs.CounterVec // degradation reason
-	shed        *obs.CounterVec // shed reason: backpressure vs draining
-	shedBack    *obs.Counter    // cached shed.With(ShedBackpressure)
-	shedDrain   *obs.Counter    // cached shed.With(ShedDraining)
-	panics      *obs.Counter
-	badInput    *obs.Counter
-	inflight    *obs.Gauge
-	queueWait   *obs.Histogram
-	scoring     *obs.Histogram
-	request     *obs.Histogram
-
-	batchRequests *obs.Counter   // /v1/rerank:batch envelopes
-	batchItems    *obs.Counter   // instances carried by those envelopes
-	batchSize     *obs.Histogram // instances per dispatched scoring batch
-
-	divRequests *obs.CounterVec   // scored jobs per diversifier
-	divItems    *obs.CounterVec   // candidates re-ranked per diversifier
-	divLatency  *obs.HistogramVec // batch wall-clock per diversifier
-
-	feedback   *obs.CounterVec // /v1/feedback requests by terminal status
-	feedbackOK *obs.Counter    // cached feedback.With("accepted")
-
-	cacheHits          *obs.Counter // encoded user-state cache
-	cacheMisses        *obs.Counter
-	cacheEvictions     *obs.Counter
-	cacheInvalidations *obs.Counter
-	cacheEntries       *obs.Gauge
-	cacheBytes         *obs.Gauge
-	matWorkers         *obs.Gauge // GEMM worker knob, for perf forensics
-}
-
-func newServeMetrics(r *obs.Registry) *serveMetrics {
-	m := &serveMetrics{
-		requests: r.Counter("rapid_http_requests_total",
-			"Re-rank requests received (any outcome)."),
-		responses: r.CounterVec("rapid_http_responses_total",
-			"Finished re-rank requests by terminal status: ok, degraded, bad_input, too_large, shed, canceled.", "status"),
-		degraded: r.CounterVec("rapid_degraded_total",
-			"Degraded (initial-order fallback) responses by reason: deadline, error, panic.", "reason"),
-		shed: r.CounterVec("rapid_shed_total",
-			"Requests shed by reason: backpressure (429, no scoring slot freed within the queue wait) or draining (503, the server is going away).", "reason"),
-		panics: r.Counter("rapid_panics_recovered_total",
-			"Panics recovered in the handler chain or the scoring goroutine."),
-		badInput: r.Counter("rapid_bad_input_total",
-			"Requests rejected with 4xx for malformed or geometry-mismatched input."),
-		inflight: r.Gauge("rapid_inflight_scoring",
-			"Scoring passes currently executing (includes deadline-abandoned passes until they finish)."),
-		queueWait: r.Histogram("rapid_queue_wait_seconds",
-			"Time an admitted request waited for a scoring slot.", nil),
-		scoring: r.Histogram("rapid_scoring_latency_seconds",
-			"Model scoring wall-clock time, measured to completion even past the budget.", nil),
-		request: r.Histogram("rapid_request_latency_seconds",
-			"End-to-end /rerank handler latency.", nil),
-		batchRequests: r.Counter("rapid_batch_requests_total",
-			"Multi-instance /v1/rerank:batch envelopes received."),
-		batchItems: r.Counter("rapid_batch_items_total",
-			"Instances carried by /v1/rerank:batch envelopes."),
-		batchSize: r.Histogram("rapid_batch_size",
-			"Instances per dispatched scoring batch (single requests count as 1).",
-			[]float64{1, 2, 4, 8, 16, 32, 64}),
-		// The diversifier family is registered even when only neural versions
-		// are resident, so a canary dashboard can tell "no diversifier traffic"
-		// (series at zero) from "metrics missing" — same eager-visibility rule
-		// as the cache family below.
-		divRequests: r.CounterVec("rapid_diversifier_requests_total",
-			"Requests scored by a classic diversifier version, by diversifier name.", "diversifier"),
-		divItems: r.CounterVec("rapid_diversifier_items_total",
-			"Candidates re-ranked by a classic diversifier version, by diversifier name.", "diversifier"),
-		divLatency: r.HistogramVec("rapid_diversifier_latency_seconds",
-			"Scoring wall-clock of batches served by a classic diversifier version, by diversifier name.", "diversifier", nil),
-		// The feedback family is registered even without a sink so dashboards
-		// can tell "feedback surface off" from "metrics missing" — the same
-		// eager-visibility rule as the cache family below.
-		feedback: r.CounterVec("rapid_feedback_requests_total",
-			"POST /v1/feedback requests by terminal status: accepted, bad_input, shed, error.", "status"),
-		// The state-cache family is registered even with the cache disabled so
-		// dashboards can tell "cache off" (all-zero series) from "metrics
-		// missing" — the same eager-visibility rule as the shed series below.
-		cacheHits: r.Counter("rapid_state_cache_hits_total",
-			"Scoring passes that reused a cached encoded user state."),
-		cacheMisses: r.Counter("rapid_state_cache_misses_total",
-			"State-cache lookups that found no usable entry."),
-		cacheEvictions: r.Counter("rapid_state_cache_evictions_total",
-			"Encoded user states evicted by the cache's memory budget (LRU)."),
-		cacheInvalidations: r.Counter("rapid_state_cache_invalidations_total",
-			"Whole-cache flushes triggered by model lifecycle transitions."),
-		cacheEntries: r.Gauge("rapid_state_cache_entries",
-			"Encoded user states currently resident in the cache."),
-		cacheBytes: r.Gauge("rapid_state_cache_bytes",
-			"Estimated bytes of encoded user states resident in the cache."),
-		matWorkers: r.Gauge("rapid_mat_workers",
-			"GEMM worker goroutines the matrix kernels may use (1 = serial)."),
-	}
-	// Eager label creation: both shed series are visible on /metrics at zero,
-	// so a router's dashboards can tell "never shed" from "series missing".
-	m.shedBack = m.shed.With(ShedBackpressure)
-	m.shedDrain = m.shed.With(ShedDraining)
-	m.responsesOK = m.responses.With("ok")
-	m.feedbackOK = m.feedback.With("accepted")
-	m.feedback.With("shed")
-	return m
-}
-
-// Shed reasons, exported so a fleet router can match the X-Shed-Reason
-// header without restating the strings. A backpressure shed (429) means
-// "come back shortly — a slot will free"; a draining shed (503) means "this
-// replica is going away — re-route, do not retry here".
-const (
-	ShedBackpressure = "backpressure"
-	ShedDraining     = "draining"
-)
 
 // ShedReasonHeader carries the shed reason on 429/503 shed responses so a
 // router can distinguish backpressure from drain without parsing the body.
 const ShedReasonHeader = "X-Shed-Reason"
 
-// shedResponse answers a request the server cannot admit. Backpressure keeps
-// the 429 + Retry-After contract (the pressure-derived jittered hint);
-// draining answers 503 with Retry-After set to the drain window — the
-// process is restarting, and only a client with no alternative replica
-// should bother coming back at all.
-func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
-	s.met.responses.With("shed").Inc()
-	w.Header().Set(ShedReasonHeader, reason)
-	if reason == ShedDraining {
-		s.met.shedDrain.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(s.cfg.DrainTimeout/time.Second))))
-		http.Error(w, "draining, replica going away", http.StatusServiceUnavailable)
-		return
-	}
-	s.met.shedBack.Inc()
-	w.Header().Set("Retry-After", s.retryAfter())
-	http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
-}
-
-// Server serves a trained model behind the robustness envelope above.
+// Server is the HTTP frontend over an engine.Engine. The embedded engine
+// exposes the scoring-side surface (Stats, Registry, StateCache,
+// FlushStateCache, SetDraining, Faults, Log) directly on the Server, so
+// existing callers are unaffected by the engine extraction.
 type Server struct {
-	cfg        Config
-	provider   Provider
-	sem        chan struct{}
-	ready      atomic.Bool
-	reg        *obs.Registry
-	met        *serveMetrics
-	batch      *coalescer
-	stateCache *StateCache // nil when Config.StateCacheBytes == 0
-	idPrefix   string      // per-process request-id prefix
-	reqSeq     atomic.Uint64
-
-	// Faults is the chaos-testing seam; nil in production.
-	Faults FaultInjector
-	// Log receives operational messages; defaults to log.Printf.
-	Log func(format string, args ...any)
+	*engine.Engine
+	cfg Config
+	met *engine.Metrics
+	// legacyRequests counts POST /rerank (deprecated alias) hits so the
+	// remaining pre-v1 callers can be found before the alias is removed.
+	legacyRequests *obs.Counter
 }
 
 // NewServer wraps a single fixed scorer with the hardened handler chain.
 // man.Config must describe the scorer's instance geometry (it validates
 // incoming requests). For hot-swappable versions use NewProviderServer.
 func NewServer(model Scorer, man Manifest, cfg Config) *Server {
-	return NewProviderServer(staticProvider{pin: Pinned{Scorer: model, Manifest: man}}, cfg)
+	return NewProviderServer(StaticProvider(Pinned{Scorer: model, Manifest: man}), cfg)
 }
 
 // NewProviderServer builds a server that asks p for the (model, manifest,
@@ -387,63 +152,24 @@ func NewServer(model Scorer, man Manifest, cfg Config) *Server {
 // swaps, canaries and shadows model versions underneath live traffic.
 func NewProviderServer(p Provider, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	reg := cfg.Registry
-	if reg == nil {
-		reg = obs.NewRegistry()
-	}
-	s := &Server{
-		cfg:      cfg,
-		provider: p,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		reg:      reg,
-		met:      newServeMetrics(reg),
-		idPrefix: newIDPrefix(),
-		Log:      log.Printf,
-	}
-	s.batch = newCoalescer(s)
-	if cfg.StateCacheBytes > 0 {
-		s.stateCache = newStateCache(cfg.StateCacheBytes, s.met)
-	}
-	s.met.matWorkers.Set(float64(mat.Workers()))
-	s.ready.Store(true)
-	return s
-}
-
-// Registry exposes the server's metric registry so a binary can add its own
-// metrics to the same /metrics namespace.
-func (s *Server) Registry() *obs.Registry { return s.reg }
-
-// newIDPrefix draws the per-process request-id prefix. Randomness makes ids
-// unique across replicas and restarts without coordination; crypto/rand
-// failure (no entropy device) falls back to a pid-free constant — ids are
-// then unique only within the process, which the correlation table is.
-func newIDPrefix() string {
-	var b [4]byte
-	if _, err := crand.Read(b[:]); err != nil {
-		return "local"
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// newRequestID issues the response's request_id: process prefix + sequence.
-// Cheap (one atomic add, one small allocation) because every response pays
-// it; the id is opaque to clients — its only contract is echoing it back in
-// feedback events.
-func (s *Server) newRequestID() string {
-	return s.idPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 36)
-}
-
-// Stats snapshots the operational counters from the metric registry. Each
-// field is one atomic load; the struct is a consistent-enough scrape (see
-// the obs package comment), and every field is individually exact.
-func (s *Server) Stats() Stats {
-	return Stats{
-		Requests:  s.met.requests.Value(),
-		Degraded:  s.met.degraded.Total(),
-		Shed:      s.met.shed.Total(),
-		Panics:    s.met.panics.Value(),
-		BadInput:  s.met.badInput.Value(),
-		Responses: s.met.responsesOK.Value(),
+	eng := engine.New(p, engine.Config{
+		Budget:            cfg.Budget,
+		MaxInFlight:       cfg.MaxInFlight,
+		QueueWait:         cfg.QueueWait,
+		DrainTimeout:      cfg.DrainTimeout,
+		Registry:          cfg.Registry,
+		Batch:             cfg.Batch,
+		StateCacheBytes:   cfg.StateCacheBytes,
+		Feedback:          cfg.Feedback,
+		Tenants:           cfg.Tenants,
+		TenantMaxInFlight: cfg.TenantMaxInFlight,
+	})
+	return &Server{
+		Engine: eng,
+		cfg:    cfg,
+		met:    eng.Metrics(),
+		legacyRequests: eng.Registry().Counter("rapid_http_legacy_requests_total",
+			"Requests to the deprecated POST /rerank alias (migrate callers to POST /v1/rerank)."),
 	}
 }
 
@@ -452,17 +178,18 @@ func (s *Server) Stats() Stats {
 // serving endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	// /rerank is the documented alias of the v1 single-item route: both are
-	// served by the same handler and return byte-identical bodies.
-	mux.HandleFunc("POST /rerank", s.handleRerank)
-	mux.HandleFunc("POST /v1/rerank", s.handleRerank)
+	// /rerank is the deprecated byte-compatible alias of the v1 single-item
+	// route: same handler, same success bodies, but plain-text errors (the
+	// pre-envelope format), a Deprecation header and its own hit counter.
+	mux.HandleFunc("POST /rerank", s.handleLegacyRerank)
+	mux.HandleFunc("POST /v1/rerank", s.handleV1Rerank)
 	mux.HandleFunc("POST /v1/rerank:batch", s.handleRerankBatch)
 	if s.cfg.Feedback != nil {
 		mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /metrics", s.Registry().Handler())
 	if s.cfg.Admin != nil {
 		s.mountAdmin(mux)
 	}
@@ -480,7 +207,7 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				s.met.panics.Inc()
+				s.met.Panics.Inc()
 				s.Log("serve: recovered handler panic on %s %s: %v", r.Method, r.URL.Path, p)
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
@@ -489,127 +216,34 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	})
 }
 
-type scoreOutcome struct {
-	scores   []float64
-	err      error
-	panicked bool
+func (s *Server) handleLegacyRerank(w http.ResponseWriter, r *http.Request) {
+	// RFC 9745 deprecation signal on every alias response; the migration
+	// path is documented in the README. Success bodies stay byte-identical
+	// to /v1/rerank, so flipping the path is the whole client change.
+	w.Header().Set("Deprecation", "@1767225600") // 2026-01-01T00:00:00Z
+	s.legacyRequests.Inc()
+	s.serveRerank(w, r, true)
 }
 
-func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleV1Rerank(w http.ResponseWriter, r *http.Request) {
+	s.serveRerank(w, r, false)
+}
+
+// serveRerank is the single-item scoring route: decode, hand to the engine,
+// encode. Everything between — admission, tenancy, pinning, deadline,
+// degradation, metrics — is the engine's.
+func (s *Server) serveRerank(w http.ResponseWriter, r *http.Request, legacy bool) {
 	start := time.Now()
-	s.met.requests.Inc()
-	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
-
-	// A draining server finishes what it admitted but takes nothing new:
-	// answering 503/draining immediately (instead of queueing and shedding
-	// with a generic 429) tells a fleet router to re-route now and stop
-	// retrying a replica that is going away.
-	if !s.ready.Load() {
-		s.shedResponse(w, ShedDraining)
-		return
-	}
-
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req RerankRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.met.badInput.Inc()
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.met.responses.With("too_large").Inc()
-			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
-			return
-		}
-		s.met.responses.With("bad_input").Inc()
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.decodeFailed(w, start, err, legacy, false)
 		return
 	}
-	// Pin one coherent (model, manifest, version) triple before validating:
-	// the pinned version's geometry is the contract the request must meet,
-	// and the same pin serves scoring and response labeling, so a version
-	// swap mid-request can never mix models.
-	route := RouteKey(&req)
-	pin := s.provider.Pick(route)
-	inst, err := ToInstance(pin.Manifest.Config, &req)
+	resp, err := s.Engine.Rerank(r.Context(), &req)
 	if err != nil {
-		s.met.badInput.Inc()
-		s.met.responses.With("bad_input").Inc()
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeEngineError(w, legacy, err)
 		return
-	}
-
-	// Admission: wait at most QueueWait for a scoring slot, then shed. The
-	// slot is released by the scoring goroutine when scoring truly ends, not
-	// when the handler returns — an abandoned (deadline-overrun) scorer
-	// still occupies CPU, and only this accounting keeps the concurrency
-	// bound honest.
-	admit := time.NewTimer(s.cfg.QueueWait)
-	defer admit.Stop()
-	qstart := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-		s.met.queueWait.ObserveDuration(time.Since(qstart))
-	case <-admit.C:
-		s.shedResponse(w, s.shedReason())
-		return
-	case <-r.Context().Done():
-		s.met.responses.With("canceled").Inc()
-		return // client gone; nothing to answer
-	}
-
-	// Scoring is delegated to the micro-batching coalescer: the request's
-	// job either rides a coalesced batch with other in-flight requests of
-	// the same (scorer, version) pin or dispatches alone when the server is
-	// idle. The worker releases this request's scoring slot when the work
-	// truly ends — an abandoned (deadline-overrun) pass still occupies CPU,
-	// and only that accounting keeps the concurrency bound honest.
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
-	defer cancel()
-	key, hasKey := s.stateKeyFor(&req, route, pin)
-	done := s.batch.submitJob(&scoreJob{
-		ctx: ctx, inst: inst, pin: pin,
-		done: make(chan scoreOutcome, 1), ownsSlot: true,
-		key: key, hasKey: hasKey,
-	})
-
-	var resp RerankResponse
-	outcome := "ok"
-	select {
-	case out := <-done:
-		if out.err != nil {
-			// A client disconnect surfaces as context.Canceled with the
-			// request context done; count it as canceled (matching the
-			// admission path) and skip serializing a response nobody reads —
-			// it is not a budget overrun.
-			if errors.Is(out.err, context.Canceled) && r.Context().Err() != nil {
-				s.met.responses.With("canceled").Inc()
-				return
-			}
-			outcome = degradeReason(out)
-			resp = s.degrade(inst, outcome)
-		} else {
-			resp = okResponse(inst, out.scores)
-			s.met.responsesOK.Inc()
-		}
-	case <-ctx.Done():
-		if r.Context().Err() != nil {
-			s.met.responses.With("canceled").Inc()
-			return
-		}
-		resp = s.degrade(inst, "deadline")
-		outcome = "deadline"
-	}
-	resp.ModelVersion = pin.Version
-	resp.Canary = pin.Canary
-	resp.LatencyMS = float64(time.Since(start).Microseconds()) / 1000
-	// The request id is issued only for responses that actually reach the
-	// client (canceled paths return above), and tracked just before encoding
-	// so a feedback event can never race ahead of its correlation entry.
-	resp.RequestID = s.newRequestID()
-	if s.cfg.Feedback != nil {
-		s.cfg.Feedback.Track(resp.RequestID, route, pin.Version)
-	}
-	if pin.Observe != nil {
-		pin.Observe(outcome, time.Since(start))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
@@ -617,272 +251,53 @@ func (s *Server) handleRerank(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// MaxBatchRequests caps the instances one /v1/rerank:batch envelope may
-// carry. The envelope is admitted as one unit against MaxInFlight; an
-// unbounded envelope would let a single caller monopolize the scoring pool.
-const MaxBatchRequests = 64
-
-// handleRerankBatch serves POST /v1/rerank:batch: a multi-instance
-// envelope scored as pre-grouped batches. Each item is pinned, validated
-// and answered independently (per-item degraded flags and error strings);
-// the envelope occupies one MaxInFlight slot and one Budget deadline as a
-// whole. Envelope-level counters observe the request once; per-item
-// degradations still land in the per-reason degraded counters.
+// handleRerankBatch serves POST /v1/rerank:batch: a multi-instance envelope
+// scored as pre-grouped batches. Items are answered independently (per-item
+// degraded flags and error strings); see engine.RerankBatch.
 func (s *Server) handleRerankBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.met.requests.Inc()
-	s.met.batchRequests.Inc()
-	defer func() { s.met.request.ObserveDuration(time.Since(start)) }()
-
-	if !s.ready.Load() {
-		s.shedResponse(w, ShedDraining)
-		return
-	}
-
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var breq RerankBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
-		s.met.badInput.Inc()
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.met.responses.With("too_large").Inc()
-			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
-			return
-		}
-		s.met.responses.With("bad_input").Inc()
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		s.decodeFailed(w, start, err, false, true)
 		return
 	}
-	n := len(breq.Requests)
-	if n == 0 || n > MaxBatchRequests {
-		s.met.badInput.Inc()
-		s.met.responses.With("bad_input").Inc()
-		http.Error(w, fmt.Sprintf("batch must carry 1..%d requests, got %d", MaxBatchRequests, n), http.StatusBadRequest)
+	resps, err := s.Engine.RerankBatch(r.Context(), breq.Requests)
+	if err != nil {
+		s.writeEngineError(w, false, err)
 		return
 	}
-	s.met.batchItems.Add(int64(n))
-
-	// Pin and validate each item independently: one malformed item yields a
-	// per-item error, not a rejected envelope.
-	pins := make([]Pinned, n)
-	insts := make([]*rerank.Instance, n)
-	resps := make([]RerankResponse, n)
-	outcomes := make([]string, n)
-	valid := 0
-	routes := make([]uint64, n)
-	for i := range breq.Requests {
-		routes[i] = RouteKey(&breq.Requests[i])
-		pins[i] = s.provider.Pick(routes[i])
-		inst, err := ToInstance(pins[i].Manifest.Config, &breq.Requests[i])
-		if err != nil {
-			s.met.badInput.Inc()
-			resps[i] = RerankResponse{Error: err.Error()}
-			continue
-		}
-		insts[i] = inst
-		valid++
-	}
-
-	if valid > 0 {
-		// Admission: the whole envelope takes one scoring slot.
-		admit := time.NewTimer(s.cfg.QueueWait)
-		defer admit.Stop()
-		qstart := time.Now()
-		select {
-		case s.sem <- struct{}{}:
-			s.met.queueWait.ObserveDuration(time.Since(qstart))
-		case <-admit.C:
-			s.shedResponse(w, s.shedReason())
-			return
-		case <-r.Context().Done():
-			s.met.responses.With("canceled").Inc()
-			return // client gone; nothing to answer
-		}
-		// Release the envelope's slot and timeout context on every exit —
-		// including a panic recovered by the outer handler wrapper — or one
-		// MaxInFlight slot would leak until restart. The straight-line path
-		// releases the slot early, before response labeling and encoding,
-		// so a slow client never holds scoring capacity.
-		held := true
-		defer func() {
-			if held {
-				<-s.sem
-			}
-		}()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Budget)
-		defer cancel()
-		jobs := make([]*scoreJob, 0, valid)
-		idxs := make([]int, 0, valid)
-		for i := range breq.Requests {
-			if insts[i] == nil {
-				continue
-			}
-			key, hasKey := s.stateKeyFor(&breq.Requests[i], routes[i], pins[i])
-			jobs = append(jobs, &scoreJob{
-				ctx: ctx, inst: insts[i], pin: pins[i],
-				done: make(chan scoreOutcome, 1),
-				key:  key, hasKey: hasKey,
-			})
-			idxs = append(idxs, i)
-		}
-		// The envelope is already a batch in hand: enqueue contiguous
-		// same-pin runs (split at MaxBatch) directly, skipping the MaxWait
-		// coalescing window. A non-comparable scorer cannot form a batchKey,
-		// so its jobs enqueue one by one.
-		for from := 0; from < len(jobs); {
-			to := from + 1
-			if comparableScorer(jobs[from].pin.Scorer) {
-				key := batchKey{jobs[from].pin.Scorer, jobs[from].pin.Version}
-				for to < len(jobs) && to-from < s.cfg.Batch.MaxBatch &&
-					comparableScorer(jobs[to].pin.Scorer) &&
-					(batchKey{jobs[to].pin.Scorer, jobs[to].pin.Version}) == key {
-					to++
-				}
-			}
-			s.batch.enqueue(jobs[from:to:to])
-			from = to
-		}
-		for k, j := range jobs {
-			i := idxs[k]
-			var out scoreOutcome
-			select {
-			case out = <-j.done:
-			case <-ctx.Done():
-				out = scoreOutcome{err: ctx.Err()}
-			}
-			if out.err != nil {
-				// A client disconnect cancels ctx for every remaining item;
-				// count the envelope once as canceled and skip serializing a
-				// response nobody will read. The deferred release frees the
-				// slot; workers still drain the buffered done channels.
-				if errors.Is(out.err, context.Canceled) && r.Context().Err() != nil {
-					s.met.responses.With("canceled").Inc()
-					return
-				}
-				outcomes[i] = degradeReason(out)
-				s.met.degraded.With(outcomes[i]).Inc()
-				resps[i] = degradedResponse(insts[i], outcomes[i])
-			} else {
-				outcomes[i] = "ok"
-				resps[i] = okResponse(insts[i], out.scores)
-			}
-		}
-		held = false
-		<-s.sem // release the envelope's slot
-	}
-
-	elapsed := time.Since(start)
-	ms := float64(elapsed.Microseconds()) / 1000
-	for i := range resps {
-		if insts[i] == nil {
-			continue
-		}
-		resps[i].ModelVersion = pins[i].Version
-		resps[i].Canary = pins[i].Canary
-		resps[i].LatencyMS = ms
-		// Each batch item gets its own request id: feedback joins per
-		// impression, and an envelope is just transport.
-		resps[i].RequestID = s.newRequestID()
-		if s.cfg.Feedback != nil {
-			s.cfg.Feedback.Track(resps[i].RequestID, routes[i], pins[i].Version)
-		}
-		if pins[i].Observe != nil {
-			pins[i].Observe(outcomes[i], elapsed)
-		}
-	}
-	// The envelope's terminal status reflects its items: ok if any item
-	// scored, degraded if any item at least reached scoring, bad_input when
-	// every item failed validation. Counting every envelope as ok would hide
-	// batch-path failures from ok-rate dashboards.
-	status := "bad_input"
-	for i := range resps {
-		if outcomes[i] == "ok" {
-			status = "ok"
-			break
-		}
-		if insts[i] != nil {
-			status = "degraded"
-		}
-	}
-	s.met.responses.With(status).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(RerankBatchResponse{Responses: resps}); err != nil {
 		s.Log("serve: encode batch response: %v", err)
 	}
 }
 
-// shedReason classifies a queue-wait shed: a drain that began while the
-// request waited for a slot is a draining shed (the slot will never free for
-// new work), anything else is ordinary backpressure.
-func (s *Server) shedReason() string {
-	if !s.ready.Load() {
-		return ShedDraining
+// decodeFailed accounts and answers a request that never reached the engine
+// (malformed JSON or an oversized body). The frontend mirrors the engine's
+// entry accounting — received counter, end-to-end latency, terminal status —
+// so the request totals on /metrics cover decode failures too, exactly as
+// they did when decoding lived inside the scoring handler.
+func (s *Server) decodeFailed(w http.ResponseWriter, start time.Time, err error, legacy, batch bool) {
+	s.met.Requests.Inc()
+	if batch {
+		s.met.BatchRequests.Inc()
 	}
-	return ShedBackpressure
-}
-
-// retryAfter derives the 429 backoff hint from current pressure instead of a
-// constant: an idle-but-bursty server suggests 1s, a saturated one up to 4s,
-// and ±1s of jitter spreads the retries of a shed wave so the clients do not
-// come back in lockstep and shed again.
-func (s *Server) retryAfter() string {
-	base := 1 + (3*len(s.sem))/cap(s.sem)
-	sec := base + rand.IntN(3) - 1
-	if sec < 1 {
-		sec = 1
+	s.met.BadInput.Inc()
+	s.met.Request.ObserveDuration(time.Since(start))
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.met.Responses.With("too_large").Inc()
+		s.writeError(w, legacy, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), 0)
+		return
 	}
-	return strconv.Itoa(sec)
-}
-
-// degrade builds the graceful-degradation response: the initial ranker's
-// ordering, marked degraded. A re-ranking stage that cannot answer in budget
-// must hand back the list it was given — the upstream ranking is always a
-// valid (if less diverse) answer, while an error would cost the impression.
-func (s *Server) degrade(inst *rerank.Instance, reason string) RerankResponse {
-	s.met.degraded.With(reason).Inc()
-	s.met.responses.With("degraded").Inc()
-	return degradedResponse(inst, reason)
-}
-
-func degradedResponse(inst *rerank.Instance, reason string) RerankResponse {
-	order, scores := FallbackOrder(inst)
-	return RerankResponse{Ranked: order, Scores: scores, Degraded: true, DegradedReason: reason}
-}
-
-// degradeReason maps a scoring outcome's error to the degradation label:
-// panic for recovered panics, deadline for context expiry/cancellation
-// (a scorer that honored ctx reports the same reason the handler's own
-// timeout path would), error for everything else. Client disconnects are
-// filtered out by the handlers before this mapping — a canceled request
-// context counts as "canceled", not a degradation.
-func degradeReason(out scoreOutcome) string {
-	switch {
-	case out.panicked:
-		return "panic"
-	case errors.Is(out.err, context.DeadlineExceeded), errors.Is(out.err, context.Canceled):
-		return "deadline"
-	default:
-		return "error"
-	}
-}
-
-// okResponse orders the list by the model's scores and aligns the score
-// slice with the returned ranking.
-func okResponse(inst *rerank.Instance, scores []float64) RerankResponse {
-	order := rerank.OrderByScores(inst.Items, scores)
-	pos := make(map[int]int, len(inst.Items))
-	for i, id := range inst.Items {
-		pos[id] = i
-	}
-	ordered := make([]float64, len(order))
-	for i, id := range order {
-		ordered[i] = scores[pos[id]]
-	}
-	return RerankResponse{Ranked: order, Scores: ordered}
+	s.met.Responses.With("bad_input").Inc()
+	s.writeError(w, legacy, http.StatusBadRequest, "bad_input", "bad request: "+err.Error(), 0)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	active := s.provider.Active()
+	active := s.Provider().Active()
 	payload := map[string]any{
 		"status":  "ok",
 		"dataset": active.Manifest.Dataset,
@@ -905,14 +320,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // router's skew detector and the draining flag its health prober, without a
 // second endpoint or an extra probe.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	ready := s.ready.Load()
+	draining := s.Draining()
 	st := ReadyStatus{
-		Ready:        ready,
-		Draining:     !ready,
-		ModelVersion: s.provider.Active().Version,
+		Ready:        !draining,
+		Draining:     draining,
+		ModelVersion: s.Provider().Active().Version,
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if !ready {
+	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	_ = json.NewEncoder(w).Encode(st)
@@ -943,11 +358,17 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	return s.Serve(ctx, ln)
 }
 
-// Serve is Run on an existing listener (tests use :0 listeners).
+// Serve is Run on an existing listener (tests use :0 listeners). When
+// Config.BinaryListener is set the binary frontend serves alongside HTTP
+// and drains with it.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := s.NewHTTPServer(ln.Addr().String())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	var stopBinary func(context.Context)
+	if s.cfg.BinaryListener != nil {
+		stopBinary = s.serveBinary(s.cfg.BinaryListener, errc)
+	}
 	select {
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -956,15 +377,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.ready.Store(false)
+	s.SetDraining(true)
 	s.Log("serve: draining (timeout %v)", s.cfg.DrainTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
+	var derr error
 	if err := hs.Shutdown(sctx); err != nil {
-		return fmt.Errorf("serve: drain incomplete: %w", err)
+		derr = fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	if stopBinary != nil {
+		stopBinary(sctx)
 	}
 	// All in-flight handlers have returned; flush stragglers and stop the
 	// scoring workers.
-	s.batch.close()
-	return nil
+	s.Engine.Close()
+	return derr
 }

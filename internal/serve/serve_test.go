@@ -320,7 +320,7 @@ func TestHealthAndReady(t *testing.T) {
 		t.Fatalf("readyz status %d", w.Code)
 	}
 	// A draining server reports unready but stays live.
-	s.ready.Store(false)
+	s.SetDraining(true)
 	w = httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
 	if w.Code != http.StatusServiceUnavailable {
@@ -338,7 +338,7 @@ func TestHealthAndReady(t *testing.T) {
 // the bare 200/503 status-code contract is unchanged.
 func TestReadyzBody(t *testing.T) {
 	pin := Pinned{Scorer: stubScorer{}, Manifest: Manifest{Dataset: "test", Config: testConfig()}, Version: "v42"}
-	s := NewProviderServer(staticProvider{pin: pin}, Config{})
+	s := NewProviderServer(StaticProvider(pin), Config{})
 	s.Log = t.Logf
 	h := s.Handler()
 
@@ -355,7 +355,7 @@ func TestReadyzBody(t *testing.T) {
 		t.Fatalf("ready body %+v", st)
 	}
 
-	s.ready.Store(false)
+	s.SetDraining(true)
 	w = httptest.NewRecorder()
 	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
 	if w.Code != http.StatusServiceUnavailable {
@@ -379,7 +379,7 @@ func TestDrainingShedDistinguishable(t *testing.T) {
 	h := s.Handler()
 	body, _ := json.Marshal(validRequest())
 
-	s.ready.Store(false)
+	s.SetDraining(true)
 	w := postRerank(t, h, body)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining rerank status %d, want 503 (%s)", w.Code, w.Body.String())
@@ -398,10 +398,10 @@ func TestDrainingShedDistinguishable(t *testing.T) {
 	if w.Code != http.StatusServiceUnavailable || w.Header().Get(ShedReasonHeader) != ShedDraining {
 		t.Fatalf("draining batch status %d reason %q", w.Code, w.Header().Get(ShedReasonHeader))
 	}
-	if got := s.met.shedDrain.Value(); got != 2 {
+	if got := s.met.ShedDrain.Value(); got != 2 {
 		t.Fatalf("draining shed counter = %d, want 2", got)
 	}
-	if got := s.met.shedBack.Value(); got != 0 {
+	if got := s.met.ShedBack.Value(); got != 0 {
 		t.Fatalf("backpressure shed counter = %d, want 0", got)
 	}
 	if st := s.Stats(); st.Shed != 2 {

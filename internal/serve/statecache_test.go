@@ -8,60 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/obs"
 )
-
-func testStateCache(budget int64) *StateCache {
-	return newStateCache(budget, newServeMetrics(obs.NewRegistry()))
-}
-
-// stateOfSize builds a UserState whose SizeBytes is exactly 96 + 8*topics.
-func stateOfSize(topics int) *core.UserState {
-	return core.NewUserState(make([]float64, topics))
-}
-
-// TestStateCacheLRU pins the cache's budget accounting: inserts beyond the
-// byte budget evict in LRU order, a Get refreshes recency, and replacing a
-// key's entry adjusts bytes instead of double-charging.
-func TestStateCacheLRU(t *testing.T) {
-	one := int64(stateOfSize(4).SizeBytes())
-	c := testStateCache(3 * one) // room for exactly three entries
-	key := func(i int) StateKey { return StateKey{Route: uint64(i), Version: "v1"} }
-	for i := 0; i < 3; i++ {
-		c.Put(key(i), stateOfSize(4))
-	}
-	if n, b := c.Stats(); n != 3 || b != 3*one {
-		t.Fatalf("after 3 puts: %d entries / %d bytes, want 3 / %d", n, b, 3*one)
-	}
-	// Touch key 0 so key 1 is now the LRU victim.
-	if _, ok := c.Get(key(0)); !ok {
-		t.Fatal("resident entry missing")
-	}
-	c.Put(key(3), stateOfSize(4))
-	if _, ok := c.Get(key(1)); ok {
-		t.Fatal("LRU victim survived eviction")
-	}
-	for _, i := range []int{0, 2, 3} {
-		if _, ok := c.Get(key(i)); !ok {
-			t.Fatalf("entry %d evicted out of LRU order", i)
-		}
-	}
-	// Replacing a resident key must not double-charge the budget.
-	c.Put(key(0), stateOfSize(4))
-	if n, b := c.Stats(); n != 3 || b != 3*one {
-		t.Fatalf("after replace: %d entries / %d bytes, want 3 / %d", n, b, 3*one)
-	}
-	// An entry larger than the whole budget is refused outright.
-	c.Put(StateKey{Route: 99}, stateOfSize(1024))
-	if _, ok := c.Get(StateKey{Route: 99}); ok {
-		t.Fatal("over-budget state was admitted")
-	}
-	c.Flush()
-	if n, b := c.Stats(); n != 0 || b != 0 {
-		t.Fatalf("after flush: %d entries / %d bytes", n, b)
-	}
-}
 
 // TestHistoryKeyDiscriminates: the history hash must change whenever any
 // encoder input changes — user features, sequence features, or which topic a
@@ -120,10 +67,10 @@ func TestStateCacheServesRepeatUser(t *testing.T) {
 		t.Fatalf("cold request status %d", w1.Code)
 	}
 	cold := scoresOf(w1.Body.Bytes())
-	if hits, misses := s.met.cacheHits.Value(), s.met.cacheMisses.Value(); hits != 0 || misses != 1 {
+	if hits, misses := s.met.CacheHits.Value(), s.met.CacheMisses.Value(); hits != 0 || misses != 1 {
 		t.Fatalf("after cold request: hits=%d misses=%d, want 0/1", hits, misses)
 	}
-	if n, _ := s.stateCache.Stats(); n != 1 {
+	if n, _ := s.StateCache().Stats(); n != 1 {
 		t.Fatalf("cold request cached %d states, want 1", n)
 	}
 
@@ -132,7 +79,7 @@ func TestStateCacheServesRepeatUser(t *testing.T) {
 		t.Fatalf("warm request status %d", w2.Code)
 	}
 	warm := scoresOf(w2.Body.Bytes())
-	if hits := s.met.cacheHits.Value(); hits != 1 {
+	if hits := s.met.CacheHits.Value(); hits != 1 {
 		t.Fatalf("warm request did not hit the cache (hits=%d)", hits)
 	}
 	if len(warm) != len(cold) {
@@ -147,12 +94,12 @@ func TestStateCacheServesRepeatUser(t *testing.T) {
 	// Lifecycle invalidation: flush, then the same request re-encodes (a new
 	// miss) and still reproduces the cold scores exactly.
 	s.FlushStateCache()
-	if inv := s.met.cacheInvalidations.Value(); inv != 1 {
+	if inv := s.met.CacheInvalidations.Value(); inv != 1 {
 		t.Fatalf("flush counted %d invalidations, want 1", inv)
 	}
 	w3 := postRerank(t, h, body)
 	reenc := scoresOf(w3.Body.Bytes())
-	if misses := s.met.cacheMisses.Value(); misses != 2 {
+	if misses := s.met.CacheMisses.Value(); misses != 2 {
 		t.Fatalf("post-flush request should miss (misses=%d, want 2)", misses)
 	}
 	for i := range reenc {
@@ -183,7 +130,7 @@ func TestStateCacheBatchEnvelope(t *testing.T) {
 	if second.Code != http.StatusOK {
 		t.Fatalf("second envelope status %d", second.Code)
 	}
-	if hits := s.met.cacheHits.Value(); hits < 2 {
+	if hits := s.met.CacheHits.Value(); hits < 2 {
 		t.Fatalf("second envelope produced %d hits, want >= 2", hits)
 	}
 	var r1, r2 RerankBatchResponse

@@ -1,61 +1,8 @@
 package serve
 
-import (
-	"fmt"
-
-	"repro/internal/core"
-	"repro/internal/rerank"
-)
-
-// RerankRequest is the wire format of POST /rerank. It must carry everything
-// the model consumes (features, topic coverage, per-topic behavior
-// sequences), mirroring rerank.Instance.
-type RerankRequest struct {
-	UserFeatures   []float64       `json:"user_features"`
-	Items          []RerankItem    `json:"items"`
-	TopicSequences [][]SeqItemWire `json:"topic_sequences"`
-}
-
-// RerankItem is one candidate of the initial list.
-type RerankItem struct {
-	ID        int       `json:"id"`
-	Features  []float64 `json:"features"`
-	Cover     []float64 `json:"cover"`
-	InitScore float64   `json:"init_score"`
-}
-
-// SeqItemWire is one entry of a per-topic behavior sequence.
-type SeqItemWire struct {
-	Features []float64 `json:"features"`
-}
-
-// RerankResponse is the wire format of a /rerank reply. Degraded marks the
-// graceful-degradation contract: the server could not produce model scores
-// inside the request budget (deadline overrun, scoring error or recovered
-// scoring panic) and fell back to the initial-ranker ordering instead of
-// failing the request. DegradedReason says why ("deadline", "error",
-// "panic").
-type RerankResponse struct {
-	Ranked         []int     `json:"ranked"`
-	Scores         []float64 `json:"scores"` // aligned with Ranked
-	Degraded       bool      `json:"degraded,omitempty"`
-	DegradedReason string    `json:"degraded_reason,omitempty"`
-	// ModelVersion labels the registry version that served the request
-	// (empty in the single-model deployment shape); Canary marks requests
-	// routed to a candidate under canary evaluation.
-	ModelVersion string  `json:"model_version,omitempty"`
-	Canary       bool    `json:"canary,omitempty"`
-	LatencyMS    float64 `json:"latency_ms"`
-	// RequestID uniquely labels this served response; clients echo it in
-	// POST /v1/feedback events so impressions and clicks join
-	// deterministically. Per item inside a batch envelope. Empty only on
-	// per-item validation errors (Error set), which served no ranking.
-	RequestID string `json:"request_id,omitempty"`
-	// Error reports a per-item validation failure inside a batch envelope
-	// (the single-item routes answer 4xx instead). An item with Error set
-	// has no ranking.
-	Error string `json:"error,omitempty"`
-}
+// HTTP-only wire types. The request/response bodies themselves are the
+// engine's transport-neutral types (see aliases.go); what remains here is
+// the envelope shapes that exist only on the HTTP surface.
 
 // ReadyStatus is the JSON body of GET /readyz. The bare status-code
 // contract is unchanged — 200 while accepting traffic, 503 once drain has
@@ -82,90 +29,4 @@ type RerankBatchRequest struct {
 // rather than an envelope-level status.
 type RerankBatchResponse struct {
 	Responses []RerankResponse `json:"responses"`
-}
-
-// ToInstance validates the wire request against the model geometry and
-// assembles a rerank.Instance.
-func ToInstance(cfg core.Config, req *RerankRequest) (*rerank.Instance, error) {
-	if len(req.UserFeatures) != cfg.UserDim {
-		return nil, fmt.Errorf("user_features has %d dims, model wants %d", len(req.UserFeatures), cfg.UserDim)
-	}
-	if len(req.Items) == 0 {
-		return nil, fmt.Errorf("no items to re-rank")
-	}
-	if len(req.Items) > MaxListLength {
-		return nil, fmt.Errorf("request has %d items, limit is %d", len(req.Items), MaxListLength)
-	}
-	if len(req.TopicSequences) != cfg.Topics {
-		return nil, fmt.Errorf("topic_sequences has %d topics, model wants %d", len(req.TopicSequences), cfg.Topics)
-	}
-	items := make([]int, len(req.Items))
-	scores := make([]float64, len(req.Items))
-	cover := make([][]float64, len(req.Items))
-	feats := make(map[int][]float64, len(req.Items))
-	coverByID := make(map[int][]float64, len(req.Items))
-	for i, it := range req.Items {
-		if len(it.Features) != cfg.ItemDim {
-			return nil, fmt.Errorf("item %d has %d feature dims, model wants %d", it.ID, len(it.Features), cfg.ItemDim)
-		}
-		if len(it.Cover) != cfg.Topics {
-			return nil, fmt.Errorf("item %d has %d cover dims, model wants %d", it.ID, len(it.Cover), cfg.Topics)
-		}
-		items[i] = it.ID
-		scores[i] = it.InitScore
-		cover[i] = it.Cover
-		feats[it.ID] = it.Features
-		coverByID[it.ID] = it.Cover
-	}
-	// Behavior-sequence items are addressed with synthetic negative IDs so
-	// they cannot collide with list items.
-	seqs := make([][]int, cfg.Topics)
-	nextID := -1
-	for j, seq := range req.TopicSequences {
-		for _, si := range seq {
-			if len(si.Features) != cfg.ItemDim {
-				return nil, fmt.Errorf("topic %d sequence item has %d feature dims, model wants %d", j, len(si.Features), cfg.ItemDim)
-			}
-			feats[nextID] = si.Features
-			seqs[j] = append(seqs[j], nextID)
-			nextID--
-		}
-		if len(seqs[j]) > rerank.TopicSeqCap {
-			seqs[j] = seqs[j][len(seqs[j])-rerank.TopicSeqCap:]
-		}
-	}
-	// Unknown-id coverage lookups (historical items outside the list) share
-	// one zero vector; callers treat coverage as read-only.
-	zeroCover := make([]float64, cfg.Topics)
-	return &rerank.Instance{
-		UserFeat:   req.UserFeatures,
-		Items:      items,
-		InitScores: scores,
-		Cover:      cover,
-		TopicSeqs:  seqs,
-		M:          cfg.Topics,
-		ItemFeat:   func(id int) []float64 { return feats[id] },
-		CoverOf: func(id int) []float64 {
-			if c, ok := coverByID[id]; ok {
-				return c
-			}
-			return zeroCover
-		},
-	}, nil
-}
-
-// FallbackOrder is the graceful-degradation ranking: the initial ranker's
-// ordering by its own scores (stable on ties), exactly what the upstream
-// stage would have shown had the re-ranker not existed.
-func FallbackOrder(inst *rerank.Instance) ([]int, []float64) {
-	order := rerank.OrderByScores(inst.Items, inst.InitScores)
-	pos := make(map[int]int, len(inst.Items))
-	for i, id := range inst.Items {
-		pos[id] = i
-	}
-	ordered := make([]float64, len(order))
-	for i, id := range order {
-		ordered[i] = inst.InitScores[pos[id]]
-	}
-	return order, ordered
 }

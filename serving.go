@@ -1,6 +1,7 @@
 package rapid
 
 import (
+	"net"
 	"time"
 
 	"repro/internal/serve"
@@ -40,6 +41,7 @@ func AdaptReranker(r Reranker) Scorer { return serve.Adapt(r) }
 type serverOptions struct {
 	cfg     serve.Config
 	dataset string
+	tenants map[string]*Model
 }
 
 // ServerOption configures NewServer.
@@ -102,6 +104,28 @@ func WithPprof() ServerOption {
 	return func(o *serverOptions) { o.cfg.Pprof = true }
 }
 
+// WithTenant keeps an additional named model resident alongside the primary
+// one. Requests naming it in their "tenant" field score against it; requests
+// with no tenant keep scoring against the primary model, so adding tenants
+// never changes existing callers.
+//
+//	srv := rapid.NewServer(model, rapid.WithTenant("acme", acmeModel))
+func WithTenant(name string, model *Model) ServerOption {
+	return func(o *serverOptions) {
+		if o.tenants == nil {
+			o.tenants = make(map[string]*Model)
+		}
+		o.tenants[name] = model
+	}
+}
+
+// WithBinaryListener additionally serves the fleet-internal binary protocol
+// (internal/serve/binproto) on ln, backed by the same engine as the HTTP
+// routes: same models, limits and metrics, bitwise-identical scores.
+func WithBinaryListener(ln net.Listener) ServerOption {
+	return func(o *serverOptions) { o.cfg.BinaryListener = ln }
+}
+
 // NewServer wraps a RAPID model in the serving layer. The model scores
 // through the batched inference engine: concurrent requests coalesce into
 // one forward pass whose per-step GEMMs carry all batch members at once.
@@ -116,5 +140,15 @@ func NewServer(model *Model, opts ...ServerOption) *Server {
 		opt(&o)
 	}
 	man := serve.Manifest{Dataset: o.dataset, Config: model.Cfg}
+	if len(o.tenants) > 0 {
+		tenants := make(serve.StaticTenants, len(o.tenants))
+		for name, m := range o.tenants {
+			tenants[name] = serve.StaticProvider(serve.Pinned{
+				Scorer:   m,
+				Manifest: serve.Manifest{Dataset: o.dataset + "/" + name, Config: m.Cfg},
+			})
+		}
+		o.cfg.Tenants = tenants
+	}
 	return serve.NewServer(model, man, o.cfg)
 }
